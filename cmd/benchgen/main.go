@@ -1,0 +1,80 @@
+// Command benchgen emits the synthetic ISPD-2018-like benchmark suite as
+// LEF/DEF file pairs and prints the Table II statistics.
+//
+// Usage:
+//
+//	benchgen -out ./benchmarks [-scale 0.02] [-circuit crp_test3] [-stats]
+//
+// With -stats only the statistics table is printed and no files are
+// written.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/crp-eda/crp/internal/experiments"
+	"github.com/crp-eda/crp/internal/ispd"
+	"github.com/crp-eda/crp/internal/lefdef"
+)
+
+func main() {
+	out := flag.String("out", "benchmarks", "output directory for LEF/DEF pairs")
+	scale := flag.Float64("scale", 0.02, "fraction of the contest cell/net counts")
+	circuit := flag.String("circuit", "", "generate only this circuit (default: all ten)")
+	statsOnly := flag.Bool("stats", false, "print Table II statistics only, write nothing")
+	flag.Parse()
+
+	if *statsOnly {
+		if err := experiments.Table2(os.Stdout, *scale); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, spec := range ispd.Suite(*scale) {
+		if *circuit != "" && spec.Name != *circuit {
+			continue
+		}
+		d, err := ispd.Generate(spec)
+		if err != nil {
+			fatal(err)
+		}
+		lefPath := filepath.Join(*out, spec.Name+".lef")
+		defPath := filepath.Join(*out, spec.Name+".def")
+		if err := writeFile(lefPath, func(f *os.File) error {
+			return lefdef.WriteLEF(f, d.Tech, d.Macros)
+		}); err != nil {
+			fatal(err)
+		}
+		if err := writeFile(defPath, func(f *os.File) error {
+			return lefdef.WriteDEF(f, d)
+		}); err != nil {
+			fatal(err)
+		}
+		st := d.Stats()
+		fmt.Printf("%s: %d cells, %d nets, %.1f%% utilisation -> %s, %s\n",
+			spec.Name, st.Cells, st.Nets, st.Utilisation*100, lefPath, defPath)
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

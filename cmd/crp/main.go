@@ -1,0 +1,160 @@
+// Command crp runs the full CR&P flow of the paper's Fig. 1 on a LEF/DEF
+// design: global routing (CUGR substitute), k iterations of the
+// Co-operation between Routing and Placement, then detailed routing
+// (TritonRoute substitute) with the ISPD-2018-style evaluation.
+//
+// Usage:
+//
+//	crp -lef design.lef -def design.def [-k 10] [-out out.def] [-guide out.guide]
+//
+// Without -out/-guide the flow still runs and prints the metrics, so the
+// command doubles as an evaluator for the CR&P flow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/crp-eda/crp/internal/eval"
+	"github.com/crp-eda/crp/internal/flow"
+	"github.com/crp-eda/crp/internal/grid"
+	"github.com/crp-eda/crp/internal/lefdef"
+	"github.com/crp-eda/crp/internal/route/global"
+)
+
+func main() {
+	var (
+		lefPath   = flag.String("lef", "", "technology + macro library (LEF subset)")
+		defPath   = flag.String("def", "", "design (DEF subset)")
+		k         = flag.Int("k", 10, "CR&P iterations")
+		outDEF    = flag.String("out", "", "write the post-CR&P placement DEF here")
+		outGuide  = flag.String("guide", "", "write the route guides here")
+		gamma     = flag.Float64("gamma", 0.6, "critical-set fraction (Algorithm 1)")
+		seed      = flag.Int64("seed", 1, "selection seed")
+		baseline  = flag.Bool("baseline", false, "skip CR&P: plain GR+DR flow")
+		showPhase = flag.Bool("phases", false, "print the CR&P phase breakdown")
+		heat      = flag.Bool("congestion", false, "print the post-flow congestion heatmap")
+		worst     = flag.Int("worst", 0, "print the N most expensive nets after routing")
+	)
+	flag.Parse()
+	if *lefPath == "" || *defPath == "" {
+		fmt.Fprintln(os.Stderr, "crp: -lef and -def are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	lf, err := os.Open(*lefPath)
+	if err != nil {
+		fatal(err)
+	}
+	t, macros, err := lefdef.ParseLEF(lf)
+	lf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	df, err := os.Open(*defPath)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := lefdef.ParseDEF(df, t, macros)
+	df.Close()
+	if err != nil {
+		fatal(err)
+	}
+	st := d.Stats()
+	fmt.Printf("loaded %s: %d cells, %d nets, %d rows (%s)\n",
+		d.Name, st.Cells, st.Nets, st.Rows, st.Node)
+
+	cfg := flow.DefaultConfig()
+	cfg.CRP.Gamma = *gamma
+	cfg.CRP.Seed = *seed
+
+	if *baseline {
+		res := flow.RunBaseline(d, cfg)
+		fmt.Printf("baseline: %v\n", res.Metrics)
+		fmt.Printf("runtime: GR %.2fs, DR %.2fs\n",
+			res.Timings.GlobalRoute.Seconds(), res.Timings.DetailRoute.Seconds())
+		if *worst > 0 {
+			fmt.Printf("\nworst %d nets:\n", *worst)
+			if err := eval.WriteNetReport(os.Stdout, d, res.Metrics, *worst); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
+	var defW, guideW io.Writer
+	var files []*os.File
+	if *outDEF != "" {
+		f, err := os.Create(*outDEF)
+		if err != nil {
+			fatal(err)
+		}
+		defW = f
+		files = append(files, f)
+	}
+	if *outGuide != "" {
+		f, err := os.Create(*outGuide)
+		if err != nil {
+			fatal(err)
+		}
+		guideW = f
+		files = append(files, f)
+	}
+	res, err := flow.RunCRPWithOutputs(d, *k, cfg, defW, guideW)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("CR&P k=%d: %v\n", *k, res.Metrics)
+	moved := 0
+	for _, it := range res.CRPStats.Iterations {
+		moved += it.MovedCells
+	}
+	fmt.Printf("moved %d cells; runtime: GR %.2fs, CR&P %.2fs, DR %.2fs\n",
+		moved,
+		res.Timings.GlobalRoute.Seconds(),
+		res.Timings.Middle.Seconds(),
+		res.Timings.DetailRoute.Seconds())
+	if *showPhase {
+		ph := res.Timings.CRPPhases
+		fmt.Printf("phases: GCP %.2fs, ECC %.2fs, UD %.2fs, Misc %.2fs\n",
+			ph.GCP.Seconds(), ph.ECC.Seconds(), ph.UD.Seconds(), ph.Misc().Seconds())
+	}
+	if *worst > 0 {
+		fmt.Printf("\nworst %d nets:\n", *worst)
+		if err := eval.WriteNetReport(os.Stdout, d, res.Metrics, *worst); err != nil {
+			fatal(err)
+		}
+	}
+	if *heat {
+		fmt.Println("\npost-flow congestion heatmap:")
+		// Rebuild the grid state by re-running GR on the final placement;
+		// cheap relative to the flow and avoids threading grid handles
+		// through the flow API.
+		g2 := grid.New(d, cfg.Grid)
+		r2 := global.New(d, g2, cfg.Global)
+		r2.RouteAll()
+		if err := g2.Congestion().WriteHeatmap(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *outDEF != "" {
+		fmt.Printf("wrote %s\n", *outDEF)
+	}
+	if *outGuide != "" {
+		fmt.Printf("wrote %s\n", *outGuide)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic benchmark suite.
+//
+// Usage:
+//
+//	experiments -table2                # benchmark statistics (Table II)
+//	experiments -table3 -fig2 -fig3    # full four-flow sweep
+//	experiments -all -scale 0.02 -circuits 0,1,2
+//
+// The sweep runs four flows per circuit (baseline, [18] substitute, CR&P
+// k=1, CR&P k=10), each on a fresh copy of the design.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/crp-eda/crp/internal/experiments"
+)
+
+func main() {
+	var (
+		table2   = flag.Bool("table2", false, "print Table II (benchmark statistics)")
+		table3   = flag.Bool("table3", false, "run the sweep and print Table III")
+		fig2     = flag.Bool("fig2", false, "run the sweep and print Fig. 2 (runtimes)")
+		fig3     = flag.Bool("fig3", false, "run the sweep and print Fig. 3 (breakdown)")
+		all      = flag.Bool("all", false, "shorthand for -table2 -table3 -fig2 -fig3")
+		scale    = flag.Float64("scale", 0.02, "fraction of the contest circuit sizes")
+		circuits = flag.String("circuits", "", "comma-separated suite indices 0-9 (default all)")
+		budget   = flag.Duration("sota-budget", 90*time.Second, "wall-clock budget for the [18] substitute (0 = unlimited)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	if *all {
+		*table2, *table3, *fig2, *fig3 = true, true, true, true
+	}
+	if !*table2 && !*table3 && !*fig2 && !*fig3 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *table2 {
+		if err := experiments.Table2(os.Stdout, *scale); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if !*table3 && !*fig2 && !*fig3 {
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Scale = *scale
+	opts.SOTABudget = *budget
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	if *circuits != "" {
+		for _, part := range strings.Split(*circuits, ",") {
+			i, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad -circuits entry %q: %w", part, err))
+			}
+			opts.Circuits = append(opts.Circuits, i)
+		}
+	}
+	results, err := experiments.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *table3 {
+		experiments.Table3(os.Stdout, results)
+		fmt.Println()
+	}
+	if *fig2 {
+		experiments.Fig2(os.Stdout, results)
+		fmt.Println()
+	}
+	if *fig3 {
+		experiments.Fig3(os.Stdout, results)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

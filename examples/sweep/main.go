@@ -1,0 +1,72 @@
+// Iteration sweep: the paper evaluates CR&P at k=1 and k=10 (Table III)
+// and argues the runtime grows by a constant per iteration (Fig. 2). This
+// example sweeps k over a circuit and prints the via/wirelength improvement
+// and runtime series, reproducing both claims on one plot-ready table. It
+// also runs the two ablations DESIGN.md calls out — the congestion-blind
+// cost (the [18] cost inside CR&P) and unprioritised cell selection — at
+// the final k, quantifying what each design choice buys.
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/crp-eda/crp/internal/crp"
+	"github.com/crp-eda/crp/internal/eval"
+	"github.com/crp-eda/crp/internal/flow"
+	"github.com/crp-eda/crp/internal/ispd"
+)
+
+func main() {
+	spec := ispd.Spec{
+		Name:        "sweep",
+		Node:        "n32",
+		Cells:       800,
+		Nets:        900,
+		Utilisation: 0.90,
+		Hotspots:    3,
+		Seed:        11,
+	}
+	cfg := flow.DefaultConfig()
+
+	d, err := ispd.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := flow.RunBaseline(d, cfg)
+	fmt.Printf("baseline: %v (%.2fs)\n\n", base.Metrics, base.Timings.Total.Seconds())
+
+	fmt.Printf("%4s %10s %10s %10s %8s\n", "k", "viaImp%", "wlImp%", "runtime_s", "moved")
+	for _, k := range []int{1, 2, 4, 6, 8, 10} {
+		dk, err := ispd.Generate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := flow.RunCRP(dk, k, cfg)
+		imp := eval.Compare(base.Metrics, res.Metrics)
+		moved := 0
+		for _, it := range res.CRPStats.Iterations {
+			moved += it.MovedCells
+		}
+		fmt.Printf("%4d %10.2f %10.2f %10.2f %8d\n",
+			k, imp.ViasPct, imp.WirelengthPct, res.Timings.Total.Seconds(), moved)
+	}
+
+	fmt.Println("\nablations at k=6:")
+	run := func(label string, mutate func(*crp.Config)) {
+		dk, err := ispd.Generate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := cfg
+		mutate(&c.CRP)
+		res := flow.RunCRP(dk, 6, c)
+		imp := eval.Compare(base.Metrics, res.Metrics)
+		fmt.Printf("  %-28s via %6.2f%%  wl %6.2f%%\n", label, imp.ViasPct, imp.WirelengthPct)
+	}
+	run("full CR&P (paper)", func(*crp.Config) {})
+	run("length-only cost ([18]-style)", func(c *crp.Config) { c.CostMode = crp.LengthOnly })
+	run("no criticality priority", func(c *crp.Config) { c.NoPriority = true })
+}

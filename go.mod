@@ -1,0 +1,3 @@
+module github.com/crp-eda/crp
+
+go 1.22

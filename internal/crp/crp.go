@@ -1,0 +1,398 @@
+// Package crp implements the paper's primary contribution: the Co-operation
+// between Routing and Placement framework (Section IV). One CR&P iteration
+// runs five phases over a placed-and-globally-routed design:
+//
+//  1. Label Critical Cells (Algorithm 1): cells are sorted by the routed
+//     cost of their nets; a connectivity-disjoint subset is selected with a
+//     simulated-annealing-style re-selection probability for cells touched
+//     in earlier iterations (hist_c, hist_m), capped at γ·|C|.
+//  2. Generate Candidate Positions (Algorithm 2): each critical cell keeps
+//     its current position and receives extra legal positions from the
+//     ILP-based legalizer, each paired with the conflict-cell relocations
+//     that make it legal.
+//  3. Candidate Cost Estimation (Algorithm 3): every candidate is priced by
+//     the fast 3D pattern router over the nets of every cell the candidate
+//     moves, with all other cells fixed.
+//  4. Selection ILP (Eq. 12): exactly one candidate per critical cell,
+//     pairwise exclusion between candidates whose moved footprints or moved
+//     cells collide, minimising total estimated routing cost.
+//  5. Update Database: selected moves are committed, their nets are ripped
+//     up and rerouted, and the history sets are updated.
+//
+// Phases 2 and 3 run on a worker pool, matching the paper's "run parallel"
+// annotations; phase timings are recorded per iteration so the Fig. 3
+// runtime breakdown can be regenerated.
+package crp
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/grid"
+	"github.com/crp-eda/crp/internal/ilp"
+	"github.com/crp-eda/crp/internal/legal"
+	"github.com/crp-eda/crp/internal/route/global"
+	"github.com/crp-eda/crp/internal/steiner"
+)
+
+// CostMode selects the candidate cost model; LengthOnly is the ablation
+// that reproduces the state-of-the-art baseline's congestion-blind cost
+// (one of the two differences the paper credits for beating [18]).
+type CostMode uint8
+
+const (
+	// CongestionAware prices candidates with Eq. 10 (the paper's model).
+	CongestionAware CostMode = iota
+	// LengthOnly prices candidates by Steiner length alone.
+	LengthOnly
+)
+
+// Config tunes the framework; DefaultConfig returns the paper's values.
+type Config struct {
+	// Iterations is k, the number of CR&P iterations (paper: 1 and 10).
+	Iterations int
+	// Gamma caps the critical set at Gamma*|C| (paper: 0.6).
+	Gamma float64
+	// T is the simulated-annealing temperature of Algorithm 1 (paper: 1).
+	T float64
+	// Seed drives the selection randomness; runs are reproducible.
+	Seed int64
+	// Workers sizes the parallel phases; 0 means GOMAXPROCS.
+	Workers int
+	// Legal configures the ILP-based legalizer window.
+	Legal legal.Config
+	// CostMode selects the candidate cost model (ablation hook).
+	CostMode CostMode
+	// NoPriority disables the cost sort of Algorithm 1 (ablation hook:
+	// [18] moves cells with no priority).
+	NoPriority bool
+}
+
+// DefaultConfig returns the paper's experimental parameters.
+func DefaultConfig() Config {
+	return Config{
+		Iterations: 10,
+		Gamma:      0.6,
+		T:          1.0,
+		Seed:       1,
+		Legal:      legal.DefaultConfig(),
+	}
+}
+
+// PhaseTimes is the per-iteration runtime breakdown reported in Fig. 3:
+// GCP (generate candidate positions), ECC (estimate candidates cost), UD
+// (update database), and Misc (labeling plus the selection ILP).
+type PhaseTimes struct {
+	Label time.Duration // critical-cell labeling (Misc)
+	GCP   time.Duration
+	ECC   time.Duration
+	ILP   time.Duration // selection ILP (Misc)
+	UD    time.Duration
+}
+
+// Misc returns the paper's Misc bucket (everything but GCP/ECC/UD).
+func (p PhaseTimes) Misc() time.Duration { return p.Label + p.ILP }
+
+// Total returns the summed phase time.
+func (p PhaseTimes) Total() time.Duration { return p.Label + p.GCP + p.ECC + p.ILP + p.UD }
+
+// IterStats records what one iteration did.
+type IterStats struct {
+	Criticals    int
+	Candidates   int
+	MovedCells   int // critical + conflict cells that changed position
+	ReroutedNets int
+	EstBefore    float64 // selected candidates' estimated cost at current positions
+	EstAfter     float64 // selected candidates' estimated cost
+	Times        PhaseTimes
+	SolverNodes  int
+	SolverStatus ilp.Status
+	SkippedMoves int // selected moves that failed to apply (defensive)
+}
+
+// Result aggregates a full CR&P run.
+type Result struct {
+	Iterations []IterStats
+	TotalMoved int
+}
+
+// Times sums the phase breakdown over all iterations.
+func (r *Result) Times() PhaseTimes {
+	var t PhaseTimes
+	for _, it := range r.Iterations {
+		t.Label += it.Times.Label
+		t.GCP += it.Times.GCP
+		t.ECC += it.Times.ECC
+		t.ILP += it.Times.ILP
+		t.UD += it.Times.UD
+	}
+	return t
+}
+
+// Engine runs CR&P over a design with a committed global routing.
+type Engine struct {
+	D   *db.Design
+	G   *grid.Grid
+	R   *global.Router
+	L   *legal.Legalizer
+	Cfg Config
+	rng *rand.Rand
+}
+
+// New builds an engine. The router must already hold the initial global
+// routing (the framework sits between global and detailed routing, Fig. 1).
+func New(d *db.Design, g *grid.Grid, r *global.Router, cfg Config) *Engine {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	if cfg.Gamma <= 0 {
+		cfg.Gamma = DefaultConfig().Gamma
+	}
+	if cfg.T <= 0 {
+		cfg.T = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		D:   d,
+		G:   g,
+		R:   r,
+		L:   legal.New(d, cfg.Legal),
+		Cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Run executes Cfg.Iterations CR&P iterations.
+func (e *Engine) Run() *Result {
+	res := &Result{}
+	for k := 0; k < e.Cfg.Iterations; k++ {
+		st := e.Iterate()
+		res.Iterations = append(res.Iterations, st)
+		res.TotalMoved += st.MovedCells
+	}
+	return res
+}
+
+// RunUntilConverged iterates until an iteration moves fewer than minMoves
+// cells (or maxIters is reached) — the "continued to satisfy expected
+// requirements" stopping rule the paper sketches for its iterative flow.
+// minMoves of 1 stops at full convergence (an iteration with no moves).
+func (e *Engine) RunUntilConverged(maxIters, minMoves int) *Result {
+	if maxIters <= 0 {
+		maxIters = e.Cfg.Iterations
+	}
+	if minMoves <= 0 {
+		minMoves = 1
+	}
+	res := &Result{}
+	for k := 0; k < maxIters; k++ {
+		st := e.Iterate()
+		res.Iterations = append(res.Iterations, st)
+		res.TotalMoved += st.MovedCells
+		if st.MovedCells < minMoves {
+			break
+		}
+	}
+	return res
+}
+
+// cellCost is the Algorithm 1 sort key: the summed live cost of the cell's
+// routed nets.
+func (e *Engine) cellCost(id int32) float64 {
+	cost := 0.0
+	for _, nid := range e.D.Cells[id].Nets {
+		cost += e.R.NetCost(nid)
+	}
+	return cost
+}
+
+// labelCriticalCells is Algorithm 1.
+func (e *Engine) labelCriticalCells() []int32 {
+	d := e.D
+	type scored struct {
+		id   int32
+		cost float64
+	}
+	cells := make([]scored, 0, len(d.Cells))
+	for _, c := range d.Cells {
+		if c.Fixed {
+			continue
+		}
+		cells = append(cells, scored{c.ID, e.cellCost(c.ID)})
+	}
+	if !e.Cfg.NoPriority {
+		sort.Slice(cells, func(a, b int) bool {
+			if cells[a].cost != cells[b].cost {
+				return cells[a].cost > cells[b].cost
+			}
+			return cells[a].id < cells[b].id
+		})
+	}
+	limit := int(e.Cfg.Gamma * float64(len(cells)))
+	inSet := make(map[int32]bool, limit)
+	var critical []int32
+	for _, s := range cells {
+		// (1) no connected cell may already be critical: moving two
+		// connected cells at once would invalidate Algorithm 3's
+		// one-moving-cell-per-net assumption.
+		conflict := false
+		for _, nb := range d.ConnectedCells(s.id) {
+			if inSet[nb] {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		// (2)+(3) history damping: previously-labelled cells re-enter
+		// with probability exp(-1) ≈ 36%, previously-moved with
+		// exp(-2) ≈ 13% (both, divided by T).
+		hist := 0.0
+		if d.WasCritical(s.id) {
+			hist++
+		}
+		if d.WasMoved(s.id) {
+			hist++
+		}
+		accept := math.Exp(-hist) / e.Cfg.T
+		if accept > e.rng.Float64() {
+			inSet[s.id] = true
+			critical = append(critical, s.id)
+		}
+		if len(critical) > limit {
+			break
+		}
+	}
+	return critical
+}
+
+// candidate is one placement option of a critical cell, Algorithm 2's
+// output unit: the target plus any conflict relocations, priced by
+// Algorithm 3.
+type candidate struct {
+	cell      int32
+	pos       geom.Point
+	conflicts map[int32]geom.Point
+	cost      float64
+	isCurrent bool
+}
+
+// movedCells lists every cell the candidate repositions.
+func (c *candidate) movedCells() []int32 {
+	out := []int32{c.cell}
+	for id := range c.conflicts {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// generateCandidates is Algorithm 2: current position plus legalizer
+// output, in parallel over critical cells.
+func (e *Engine) generateCandidates(critical []int32) [][]candidate {
+	out := make([][]candidate, len(critical))
+	e.parallelFor(len(critical), func(i int) {
+		cid := critical[i]
+		cur := e.D.Cells[cid].Pos
+		cands := []candidate{{cell: cid, pos: cur, conflicts: map[int32]geom.Point{}, isCurrent: true}}
+		for _, lc := range e.L.Run(cid) {
+			cands = append(cands, candidate{cell: cid, pos: lc.Pos, conflicts: lc.Conflicts})
+		}
+		out[i] = cands
+	})
+	return out
+}
+
+// estimateCosts is Algorithm 3: each candidate's cost is the summed
+// estimated routing cost of every net touching a cell the candidate moves,
+// with the candidate's positions applied hypothetically and every other
+// cell fixed.
+func (e *Engine) estimateCosts(cands [][]candidate) {
+	e.parallelFor(len(cands), func(i int) {
+		for j := range cands[i] {
+			cands[i][j].cost = e.estimateCandidate(&cands[i][j])
+		}
+	})
+}
+
+func (e *Engine) estimateCandidate(c *candidate) float64 {
+	moves := map[int32]geom.Point{c.cell: c.pos}
+	for id, p := range c.conflicts {
+		moves[id] = p
+	}
+	// Collect the union of nets over all moved cells, costing each once.
+	seen := map[int32]bool{}
+	total := 0.0
+	for id := range moves {
+		for _, nid := range e.D.Cells[id].Nets {
+			if seen[nid] {
+				continue
+			}
+			seen[nid] = true
+			total += e.estimateNet(nid, moves)
+		}
+	}
+	return total
+}
+
+// estimateNet prices one net with some cells hypothetically moved.
+func (e *Engine) estimateNet(nid int32, moves map[int32]geom.Point) float64 {
+	n := e.D.Nets[nid]
+	pts := make([]geom.Point, 0, n.Degree())
+	for _, pr := range n.Pins {
+		c := e.D.Cells[pr.Cell]
+		if p, ok := moves[pr.Cell]; ok {
+			orient := c.Orient
+			if row, okr := e.D.RowAt(p.Y); okr {
+				orient = row.Orient
+			}
+			pts = append(pts, e.D.PinPositionAt(c, pr.Pin, p, orient))
+		} else {
+			pts = append(pts, e.D.PinPosition(c, pr.Pin))
+		}
+	}
+	for _, io := range n.IOs {
+		pts = append(pts, io.Pos)
+	}
+	if e.Cfg.CostMode == LengthOnly {
+		tree := steiner.Build(pts)
+		return float64(tree.Length())
+	}
+	return e.R.EstimateTerminalCost(pts)
+}
+
+// parallelFor runs fn(i) for i in [0,n) on the worker pool.
+func (e *Engine) parallelFor(n int, fn func(int)) {
+	workers := min(e.Cfg.Workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

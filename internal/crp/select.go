@@ -1,0 +1,337 @@
+package crp
+
+import (
+	"sort"
+	"time"
+
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/ilp"
+)
+
+// Iterate runs one CR&P iteration (the five phases of Fig. 1's middle box)
+// and returns its statistics.
+func (e *Engine) Iterate() IterStats {
+	var st IterStats
+
+	t0 := time.Now()
+	critical := e.labelCriticalCells()
+	st.Times.Label = time.Since(t0)
+	st.Criticals = len(critical)
+	for _, id := range critical {
+		e.D.MarkCritical(id)
+	}
+	if len(critical) == 0 {
+		return st
+	}
+
+	t0 = time.Now()
+	cands := e.generateCandidates(critical)
+	st.Times.GCP = time.Since(t0)
+	for _, cs := range cands {
+		st.Candidates += len(cs)
+	}
+
+	t0 = time.Now()
+	e.estimateCosts(cands)
+	st.Times.ECC = time.Since(t0)
+
+	t0 = time.Now()
+	chosen, sol := e.selectCandidates(cands)
+	st.Times.ILP = time.Since(t0)
+	st.SolverNodes = sol.Nodes
+	st.SolverStatus = sol.Status
+
+	// EstBefore/EstAfter compare the selected moves against staying put,
+	// on the same Algorithm 3 cost scale.
+	curCost := make(map[int32]float64, len(cands))
+	for i := range cands {
+		for j := range cands[i] {
+			if cands[i][j].isCurrent {
+				curCost[cands[i][j].cell] = cands[i][j].cost
+			}
+		}
+	}
+
+	t0 = time.Now()
+	e.applyMoves(chosen, curCost, &st)
+	st.Times.UD = time.Since(t0)
+	return st
+}
+
+// selectCandidates builds and solves the Eq. 12 selection ILP: one
+// candidate per critical cell; candidates of different cells that move the
+// same cell or whose moved footprints overlap exclude each other.
+//
+// Exact pruning shrinks the model first: a move candidate whose estimated
+// cost is not below its cell's stay-put cost is dominated — replacing it
+// with "stay" in any feasible solution stays feasible (staying occupies
+// nothing new) and does not increase the objective — so it is dropped, and
+// cells left with no improving candidate are fixed to their current
+// position outside the model.
+func (e *Engine) selectCandidates(cands [][]candidate) ([]*candidate, ilp.Solution) {
+	var chosen []*candidate
+	type cellCands struct {
+		ci   int
+		list []int // candidate indices within cands[ci], current first
+	}
+	var active []cellCands
+	for i, cs := range cands {
+		curIdx := -1
+		for j := range cs {
+			if cs[j].isCurrent {
+				curIdx = j
+				break
+			}
+		}
+		if curIdx < 0 {
+			curIdx = 0 // defensive: treat the first as current
+		}
+		cur := cs[curIdx].cost
+		keep := []int{curIdx}
+		for j := range cs {
+			if j != curIdx && cs[j].cost < cur-1e-9 {
+				keep = append(keep, j)
+			}
+		}
+		if len(keep) == 1 {
+			chosen = append(chosen, &cands[i][curIdx])
+			continue
+		}
+		active = append(active, cellCands{i, keep})
+	}
+	if len(active) == 0 {
+		return chosen, ilp.Solution{Status: ilp.Optimal, HasIncumbent: true}
+	}
+
+	m := ilp.NewModel()
+	type varRef struct {
+		ci, cj int // indices into cands
+	}
+	var refs []varRef
+
+	// Per-cell "exactly one" constraints.
+	for _, cc := range active {
+		terms := make([]ilp.Term, 0, len(cc.list))
+		for _, j := range cc.list {
+			v := m.AddBinary("", cands[cc.ci][j].cost)
+			refs = append(refs, varRef{cc.ci, j})
+			terms = append(terms, ilp.Term{Var: v, Coef: 1})
+		}
+		m.AddConstraint("pick-one", terms, ilp.EQ, 1)
+	}
+
+	// Exclusion constraints. A spatial hash over moved footprints (at
+	// site granularity) and a moved-cell index find colliding pairs
+	// without the quadratic sweep.
+	sw := e.D.Tech.Site.Width
+	siteOwners := map[[2]int][]int{} // (row, siteX) -> var indices
+	cellMovers := map[int32][]int{}  // moved cell -> var indices
+	for vi, ref := range refs {
+		c := &cands[ref.ci][ref.cj]
+		if c.isCurrent {
+			continue // staying put occupies what it already owns
+		}
+		for _, mc := range c.movedCells() {
+			cellMovers[mc] = append(cellMovers[mc], vi)
+			var p geom.Point
+			if mc == c.cell {
+				p = c.pos
+			} else {
+				p = c.conflicts[mc]
+			}
+			w := e.D.Cells[mc].Macro.Width
+			row, ok := e.D.RowAt(p.Y)
+			if !ok {
+				continue
+			}
+			for x := p.X; x < p.X+w; x += sw {
+				key := [2]int{int(row.Index), x}
+				siteOwners[key] = append(siteOwners[key], vi)
+			}
+		}
+	}
+	// Emit exclusion pairs in sorted key order so the model (and thus any
+	// solver tie-breaking) is deterministic run to run.
+	pairSeen := map[[2]int]bool{}
+	addPair := func(a, b int) {
+		if refs[a].ci == refs[b].ci {
+			return // same critical cell: covered by pick-one
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if pairSeen[[2]int{a, b}] {
+			return
+		}
+		pairSeen[[2]int{a, b}] = true
+		m.AddConstraint("excl",
+			[]ilp.Term{{Var: ilp.VarID(a), Coef: 1}, {Var: ilp.VarID(b), Coef: 1}}, ilp.LE, 1)
+	}
+	siteKeys := make([][2]int, 0, len(siteOwners))
+	for k := range siteOwners {
+		siteKeys = append(siteKeys, k)
+	}
+	sort.Slice(siteKeys, func(a, b int) bool {
+		if siteKeys[a][0] != siteKeys[b][0] {
+			return siteKeys[a][0] < siteKeys[b][0]
+		}
+		return siteKeys[a][1] < siteKeys[b][1]
+	})
+	for _, k := range siteKeys {
+		vs := siteOwners[k]
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				addPair(vs[i], vs[j])
+			}
+		}
+	}
+	moverKeys := make([]int32, 0, len(cellMovers))
+	for k := range cellMovers {
+		moverKeys = append(moverKeys, k)
+	}
+	sort.Slice(moverKeys, func(a, b int) bool { return moverKeys[a] < moverKeys[b] })
+	for _, k := range moverKeys {
+		vs := cellMovers[k]
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				addPair(vs[i], vs[j])
+			}
+		}
+	}
+
+	sol := m.Solve(ilp.Options{MaxNodes: 200_000})
+	if sol.Status == ilp.Optimal {
+		for vi, ref := range refs {
+			if sol.Values[vi] == 1 {
+				chosen = append(chosen, &cands[ref.ci][ref.cj])
+			}
+		}
+		return chosen, sol
+	}
+
+	// Node budget exhausted on a pathological component: fall back to a
+	// greedy improving selection — best gain first, skipping any move that
+	// collides with an already-accepted one. Always feasible and never
+	// worse than everyone staying put.
+	type pick struct {
+		cc   cellCands
+		best int // candidate index, -1 = stay
+		gain float64
+	}
+	picks := make([]pick, 0, len(active))
+	for _, cc := range active {
+		cur := cands[cc.ci][cc.list[0]].cost
+		best, bestCost := -1, cur
+		for _, j := range cc.list[1:] {
+			if c := cands[cc.ci][j].cost; c < bestCost {
+				best, bestCost = j, c
+			}
+		}
+		picks = append(picks, pick{cc, best, cur - bestCost})
+	}
+	sort.Slice(picks, func(a, b int) bool {
+		if picks[a].gain != picks[b].gain {
+			return picks[a].gain > picks[b].gain
+		}
+		return picks[a].cc.ci < picks[b].cc.ci
+	})
+	claimedSites := map[[2]int]bool{}
+	claimedCells := map[int32]bool{}
+
+	for _, p := range picks {
+		cur := &cands[p.cc.ci][p.cc.list[0]]
+		if p.best < 0 {
+			chosen = append(chosen, cur)
+			continue
+		}
+		cand := &cands[p.cc.ci][p.best]
+		ok := true
+		var sites [][2]int
+		var movers []int32
+		for _, mc := range cand.movedCells() {
+			if claimedCells[mc] {
+				ok = false
+				break
+			}
+			movers = append(movers, mc)
+			pos := cand.pos
+			if mc != cand.cell {
+				pos = cand.conflicts[mc]
+			}
+			row, okr := e.D.RowAt(pos.Y)
+			if !okr {
+				ok = false
+				break
+			}
+			w := e.D.Cells[mc].Macro.Width
+			for x := pos.X; x < pos.X+w; x += sw {
+				key := [2]int{int(row.Index), x}
+				if claimedSites[key] {
+					ok = false
+					break
+				}
+				sites = append(sites, key)
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			chosen = append(chosen, cur)
+			continue
+		}
+		for _, s := range sites {
+			claimedSites[s] = true
+		}
+		for _, mc := range movers {
+			claimedCells[mc] = true
+		}
+		chosen = append(chosen, cand)
+	}
+	return chosen, sol
+}
+
+// applyMoves is the Update Database phase: commit the selected moves, mark
+// history, and rip-up & reroute every net touching a moved cell.
+func (e *Engine) applyMoves(chosen []*candidate, curCost map[int32]float64, st *IterStats) {
+	movedCells := map[int32]bool{}
+	for _, c := range chosen {
+		if c.isCurrent {
+			continue
+		}
+		st.EstBefore += curCost[c.cell]
+		st.EstAfter += c.cost
+		moves := map[int32]geom.Point{c.cell: c.pos}
+		for id, p := range c.conflicts {
+			moves[id] = p
+		}
+		if err := e.D.MoveCells(moves); err != nil {
+			// The exclusion constraints should make this unreachable;
+			// count it rather than corrupting the placement.
+			st.SkippedMoves++
+			continue
+		}
+		for id := range moves {
+			movedCells[id] = true
+			e.D.MarkMoved(id)
+		}
+	}
+	st.MovedCells = len(movedCells)
+
+	// Reroute all nets touching moved cells, in deterministic order.
+	netSet := map[int32]bool{}
+	for id := range movedCells {
+		for _, nid := range e.D.Cells[id].Nets {
+			netSet[nid] = true
+		}
+	}
+	nets := make([]int32, 0, len(netSet))
+	for nid := range netSet {
+		nets = append(nets, nid)
+	}
+	sort.Slice(nets, func(a, b int) bool { return nets[a] < nets[b] })
+	for _, nid := range nets {
+		e.R.RerouteNet(nid)
+	}
+	st.ReroutedNets = len(netSet)
+}

@@ -1,0 +1,286 @@
+package db
+
+import (
+	"fmt"
+
+	"github.com/crp-eda/crp/internal/geom"
+)
+
+// CheckLegal reports whether cell c could legally sit at pos, checking every
+// constraint of the paper's Section III placement formulation except
+// overlap with other cells (use IsFreeFor for that):
+//
+//   - inside the die (Eq. 5),
+//   - on a row, spanning only that row's sites (Eq. 8),
+//   - X aligned to the site grid (Eq. 7),
+//   - not over a placement obstacle.
+//
+// It returns nil when legal and a descriptive error otherwise.
+func (d *Design) CheckLegal(c *Cell, pos geom.Point) error {
+	r := c.RectAt(pos)
+	if !d.Die.ContainsRect(r) {
+		return fmt.Errorf("db: %v outside die %v", r, d.Die)
+	}
+	row, ok := d.RowAt(pos.Y)
+	if !ok {
+		return fmt.Errorf("db: Y=%d is not a row bottom", pos.Y)
+	}
+	span := row.Span(d.Tech.Site.Width)
+	if pos.X < span.Lo || pos.X+c.Macro.Width > span.Hi {
+		return fmt.Errorf("db: X range [%d,%d) outside row %d sites [%d,%d)",
+			pos.X, pos.X+c.Macro.Width, row.Index, span.Lo, span.Hi)
+	}
+	if (pos.X-row.X)%d.Tech.Site.Width != 0 {
+		return fmt.Errorf("db: X=%d not aligned to site grid (row X=%d, site=%d)",
+			pos.X, row.X, d.Tech.Site.Width)
+	}
+	for _, o := range d.Obs {
+		if o.Rect.Overlaps(r) {
+			return fmt.Errorf("db: overlaps obstacle %q at %v", o.Name, o.Rect)
+		}
+	}
+	return nil
+}
+
+// RowAt returns the row whose bottom edge is y.
+func (d *Design) RowAt(y int) (*Row, bool) {
+	// Rows are uniform-height and contiguous from the die bottom; index
+	// arithmetic avoids a map lookup on this hot path.
+	h := d.Tech.Site.Height
+	if len(d.Rows) == 0 {
+		return nil, false
+	}
+	base := d.Rows[0].Y
+	if y < base || (y-base)%h != 0 {
+		return nil, false
+	}
+	idx := (y - base) / h
+	if idx >= len(d.Rows) {
+		return nil, false
+	}
+	return &d.Rows[idx], true
+}
+
+// CellsInRowRange returns the IDs of cells in row `row` whose X footprint
+// intersects [x0, x1), in left-to-right order.
+func (d *Design) CellsInRowRange(row int32, x0, x1 int) []int32 {
+	if row < 0 || int(row) >= len(d.rowCells) {
+		return nil
+	}
+	ids := d.rowCells[row]
+	// Binary search for the first cell whose right edge is past x0.
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := d.Cells[ids[mid]]
+		if c.Pos.X+c.Macro.Width <= x0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var out []int32
+	for i := lo; i < len(ids); i++ {
+		c := d.Cells[ids[i]]
+		if c.Pos.X >= x1 {
+			break
+		}
+		out = append(out, ids[i])
+	}
+	return out
+}
+
+// IsFreeFor reports whether the X interval [x0, x1) of a row is free of
+// cells other than those in ignore (typically the cells being relocated by
+// the legalizer's local window).
+func (d *Design) IsFreeFor(row int32, x0, x1 int, ignore map[int32]bool) bool {
+	for _, id := range d.CellsInRowRange(row, x0, x1) {
+		if !ignore[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// MoveCell relocates cell id to pos, updating the row occupancy. The move
+// must be individually legal (CheckLegal) and must not overlap any other
+// cell; otherwise an error is returned and nothing changes.
+func (d *Design) MoveCell(id int32, pos geom.Point) error {
+	c := d.Cells[id]
+	if c.Fixed {
+		return fmt.Errorf("db: cell %q is fixed", c.Name)
+	}
+	if pos == c.Pos {
+		return nil
+	}
+	if err := d.CheckLegal(c, pos); err != nil {
+		return err
+	}
+	ignore := map[int32]bool{id: true}
+	newRow, _ := d.RowAt(pos.Y)
+	if !d.IsFreeFor(newRow.Index, pos.X, pos.X+c.Macro.Width, ignore) {
+		return fmt.Errorf("db: target span [%d,%d) of row %d occupied", pos.X, pos.X+c.Macro.Width, newRow.Index)
+	}
+	d.removeFromRow(c)
+	c.Pos = pos
+	c.Orient = newRow.Orient
+	c.Row = newRow.Index
+	d.insertIntoRow(c)
+	return nil
+}
+
+// MoveCells applies a batch of moves atomically with respect to each other:
+// all targets are checked against the occupancy state with every moving cell
+// lifted out, so cells may swap or shift into each other's old spans. On any
+// conflict the whole batch is rejected.
+func (d *Design) MoveCells(moves map[int32]geom.Point) error {
+	if len(moves) == 0 {
+		return nil
+	}
+	ignore := make(map[int32]bool, len(moves))
+	for id := range moves {
+		if d.Cells[id].Fixed {
+			return fmt.Errorf("db: cell %q is fixed", d.Cells[id].Name)
+		}
+		ignore[id] = true
+	}
+	// Check each target for legality and for overlap against non-moving
+	// cells, then check moving cells pairwise at their targets.
+	type placed struct {
+		c   *Cell
+		pos geom.Point
+	}
+	batch := make([]placed, 0, len(moves))
+	for id, pos := range moves {
+		c := d.Cells[id]
+		if err := d.CheckLegal(c, pos); err != nil {
+			return err
+		}
+		row, _ := d.RowAt(pos.Y)
+		if !d.IsFreeFor(row.Index, pos.X, pos.X+c.Macro.Width, ignore) {
+			return fmt.Errorf("db: target of %q overlaps a non-moving cell", c.Name)
+		}
+		batch = append(batch, placed{c, pos})
+	}
+	for i := range batch {
+		for j := i + 1; j < len(batch); j++ {
+			a, b := batch[i], batch[j]
+			if a.c.RectAt(a.pos).Overlaps(b.c.RectAt(b.pos)) {
+				return fmt.Errorf("db: moving cells %q and %q would overlap", a.c.Name, b.c.Name)
+			}
+		}
+	}
+	for _, p := range batch {
+		d.removeFromRow(p.c)
+		row, _ := d.RowAt(p.pos.Y)
+		p.c.Pos = p.pos
+		p.c.Orient = row.Orient
+		p.c.Row = row.Index
+		d.insertIntoRow(p.c)
+	}
+	return nil
+}
+
+func (d *Design) removeFromRow(c *Cell) {
+	ids := d.rowCells[c.Row]
+	for i, id := range ids {
+		if id == c.ID {
+			d.rowCells[c.Row] = append(ids[:i], ids[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("db: cell %q not found in its row %d", c.Name, c.Row))
+}
+
+func (d *Design) insertIntoRow(c *Cell) {
+	ids := d.rowCells[c.Row]
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.Cells[ids[mid]].Pos.X < c.Pos.X {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	ids = append(ids, 0)
+	copy(ids[lo+1:], ids[lo:])
+	ids[lo] = c.ID
+	d.rowCells[c.Row] = ids
+}
+
+// FreeSitesIn enumerates the free site X positions in [x0, x1) of a row that
+// could host a cell of width w, excluding space under cells not in ignore.
+// Positions are site-aligned and returned in increasing order.
+func (d *Design) FreeSitesIn(row int32, x0, x1, w int, ignore map[int32]bool) []int {
+	r := &d.Rows[row]
+	sw := d.Tech.Site.Width
+	span := r.Span(sw)
+	lo := geom.SnapUp(max(x0, span.Lo)-r.X, sw) + r.X
+	hi := min(x1, span.Hi)
+
+	// Collect blocking intervals: placed cells not being ignored, plus
+	// obstacles intersecting this row.
+	type iv struct{ a, b int }
+	var blocks []iv
+	for _, id := range d.CellsInRowRange(row, lo, hi+w) {
+		if ignore[id] {
+			continue
+		}
+		c := d.Cells[id]
+		blocks = append(blocks, iv{c.Pos.X, c.Pos.X + c.Macro.Width})
+	}
+	rowRect := geom.Rect{Lo: geom.Pt(span.Lo, r.Y), Hi: geom.Pt(span.Hi, r.Y+d.Tech.Site.Height)}
+	for _, o := range d.Obs {
+		if o.Rect.Overlaps(rowRect) {
+			blocks = append(blocks, iv{o.Rect.Lo.X, o.Rect.Hi.X})
+		}
+	}
+
+	var out []int
+	for x := lo; x+w <= hi; x += sw {
+		ok := true
+		for _, b := range blocks {
+			if x < b.b && b.a < x+w {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// PositionSnapshot captures all cell positions for later restore.
+type PositionSnapshot struct {
+	pos    []geom.Point
+	orient []Orient
+}
+
+// Snapshot records current cell positions.
+func (d *Design) Snapshot() PositionSnapshot {
+	s := PositionSnapshot{
+		pos:    make([]geom.Point, len(d.Cells)),
+		orient: make([]Orient, len(d.Cells)),
+	}
+	for i, c := range d.Cells {
+		s.pos[i] = c.Pos
+		s.orient[i] = c.Orient
+	}
+	return s
+}
+
+// Restore puts every cell back to the snapshotted position and rebuilds the
+// occupancy index.
+func (d *Design) Restore(s PositionSnapshot) error {
+	if len(s.pos) != len(d.Cells) {
+		return fmt.Errorf("db: snapshot has %d cells, design has %d", len(s.pos), len(d.Cells))
+	}
+	for i, c := range d.Cells {
+		c.Pos = s.pos[i]
+		c.Orient = s.orient[i]
+	}
+	return d.rebuildRowOccupancy()
+}

@@ -1,0 +1,209 @@
+package db
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/tech"
+)
+
+// buildRandomDesign creates a random legal design for property testing.
+func buildRandomDesign(t *testing.T, rng *rand.Rand, nRows, nSites, nCells int) *Design {
+	t.Helper()
+	tc := tech.N32()
+	sw, rh := tc.Site.Width, tc.Site.Height
+	die := geom.R(0, 0, nSites*sw, nRows*rh)
+	rows := make([]Row, nRows)
+	for i := range rows {
+		o := N
+		if i%2 == 1 {
+			o = FS
+		}
+		rows[i] = Row{Index: int32(i), X: 0, Y: i * rh, NumSites: nSites, Orient: o}
+	}
+	widths := []int{2, 3, 4}
+	macros := make([]*Macro, len(widths))
+	for i, w := range widths {
+		macros[i] = &Macro{
+			Name: "M" + string(rune('A'+i)), Width: w * sw, Height: rh,
+			Pins: []PinDef{{Name: "A", Offset: geom.Pt(sw/2, rh/2), Layer: 0}},
+		}
+	}
+	used := make([][]bool, nRows)
+	for i := range used {
+		used[i] = make([]bool, nSites)
+	}
+	var cells []*Cell
+	for len(cells) < nCells {
+		m := macros[rng.Intn(len(macros))]
+		w := m.Width / sw
+		r := rng.Intn(nRows)
+		s := rng.Intn(nSites - w)
+		free := true
+		for i := s; i < s+w; i++ {
+			if used[r][i] {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		for i := s; i < s+w; i++ {
+			used[r][i] = true
+		}
+		o := N
+		if r%2 == 1 {
+			o = FS
+		}
+		cells = append(cells, &Cell{
+			ID: int32(len(cells)), Name: "c" + itoa(len(cells)), Macro: m,
+			Pos: geom.Pt(s*sw, r*rh), Orient: o,
+		})
+	}
+	d, err := New("prop", tc, die, rows, macros, cells, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// A long random sequence of attempted moves must keep the design legal at
+// every step; accepted moves go to free legal slots, rejected moves change
+// nothing.
+func TestRandomMoveSequencePreservesLegality(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := buildRandomDesign(t, rng, 10, 60, 80)
+	sw, rh := d.Tech.Site.Width, d.Tech.Site.Height
+	accepted, rejected := 0, 0
+	for step := 0; step < 600; step++ {
+		id := int32(rng.Intn(len(d.Cells)))
+		target := geom.Pt(rng.Intn(62)*sw-sw, rng.Intn(12)*rh-rh) // may be off-die/off-grid
+		before := d.Cells[id].Pos
+		err := d.MoveCell(id, target)
+		if err != nil {
+			rejected++
+			if d.Cells[id].Pos != before {
+				t.Fatalf("step %d: rejected move mutated position", step)
+			}
+		} else {
+			accepted++
+		}
+		if step%50 == 0 {
+			if verr := d.Validate(); verr != nil {
+				t.Fatalf("step %d: design invalid: %v", step, verr)
+			}
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("final validate: %v", err)
+	}
+	if accepted == 0 {
+		t.Error("no random move was ever accepted — generator too tight?")
+	}
+	if rejected == 0 {
+		t.Error("no random move was ever rejected — bounds not exercised")
+	}
+}
+
+// Occupancy index vs brute force: IsFreeFor must agree with a full scan of
+// every cell rectangle.
+func TestOccupancyMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	d := buildRandomDesign(t, rng, 8, 40, 50)
+	sw, rh := d.Tech.Site.Width, d.Tech.Site.Height
+	for trial := 0; trial < 300; trial++ {
+		row := int32(rng.Intn(8))
+		x0 := rng.Intn(40) * sw
+		x1 := x0 + (1+rng.Intn(6))*sw
+		got := d.IsFreeFor(row, x0, x1, nil)
+		probe := geom.R(x0, int(row)*rh, x1, int(row)*rh+rh)
+		want := true
+		for _, c := range d.Cells {
+			if c.Rect().Overlaps(probe) {
+				want = false
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: IsFreeFor(row %d, [%d,%d)) = %v, brute force %v",
+				trial, row, x0, x1, got, want)
+		}
+	}
+}
+
+// Batch moves preserve a conserved quantity: the multiset of occupied site
+// counts (total occupied sites never changes when cells only move).
+func TestMoveConservesOccupiedArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	d := buildRandomDesign(t, rng, 8, 50, 60)
+	var areaBefore int64
+	for _, c := range d.Cells {
+		areaBefore += c.Rect().Area()
+	}
+	sw, rh := d.Tech.Site.Width, d.Tech.Site.Height
+	for step := 0; step < 200; step++ {
+		id := int32(rng.Intn(len(d.Cells)))
+		_ = d.MoveCell(id, geom.Pt(rng.Intn(48)*sw, rng.Intn(8)*rh))
+	}
+	var areaAfter int64
+	for _, c := range d.Cells {
+		areaAfter += c.Rect().Area()
+	}
+	if areaBefore != areaAfter {
+		t.Fatalf("occupied area changed: %d -> %d", areaBefore, areaAfter)
+	}
+}
+
+// HPWL is translation-consistent: moving a single-pin-net cell by delta
+// changes that net's HPWL by at most |delta| in each axis.
+func TestHPWLBoundedByMoveDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	d := buildRandomDesign(t, rng, 8, 50, 40)
+	// Wire up pairs of cells into 2-pin nets.
+	var nets []*Net
+	for i := 0; i+1 < len(d.Cells); i += 2 {
+		nets = append(nets, &Net{
+			ID: int32(len(nets)), Name: "n" + itoa(i),
+			Pins: []PinRef{{Cell: int32(i), Pin: 0}, {Cell: int32(i + 1), Pin: 0}},
+		})
+	}
+	d2, err := New("prop2", d.Tech, d.Die, d.Rows, d.Macros, d.Cells, nets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, rh := d2.Tech.Site.Width, d2.Tech.Site.Height
+	for trial := 0; trial < 100; trial++ {
+		id := int32(rng.Intn(len(d2.Cells)))
+		c := d2.Cells[id]
+		before := c.Pos
+		hBefore := d2.TotalHPWL()
+		if d2.MoveCell(id, geom.Pt(rng.Intn(48)*sw, rng.Intn(8)*rh)) != nil {
+			continue
+		}
+		delta := int64(before.ManhattanDist(c.Pos))
+		hAfter := d2.TotalHPWL()
+		diff := hAfter - hBefore
+		if diff < 0 {
+			diff = -diff
+		}
+		// One cell on at most len(c.Nets) nets, each changing by <= delta.
+		bound := delta * int64(len(c.Nets))
+		if len(c.Nets) > 0 && diff > bound {
+			t.Fatalf("trial %d: HPWL moved by %d, bound %d", trial, diff, bound)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/crp-eda/crp/internal/flow"
+)
+
+// tinyOptions keeps the sweep fast enough for unit testing.
+func tinyOptions() Options {
+	opts := DefaultOptions()
+	opts.Scale = 0.004
+	opts.Circuits = []int{0}
+	opts.K1 = 1
+	opts.K10 = 3
+	opts.SOTABudget = 0
+	opts.Flow = flow.DefaultConfig()
+	opts.Flow.CRP.Workers = 2
+	return opts
+}
+
+func TestRunProducesAllFourFlows(t *testing.T) {
+	res, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %d, want 1", len(res))
+	}
+	cr := res[0]
+	if cr.Baseline == nil || cr.SOTA == nil || cr.K1 == nil || cr.K10 == nil {
+		t.Fatal("missing flow results")
+	}
+	if cr.Baseline.Metrics.Vias <= 0 {
+		t.Error("baseline has no vias")
+	}
+	if cr.SOTA.Failed {
+		t.Error("unbudgeted SOTA failed")
+	}
+	if cr.Stats.Cells == 0 {
+		t.Error("stats missing")
+	}
+}
+
+func TestRunRejectsBadCircuitIndex(t *testing.T) {
+	opts := tinyOptions()
+	opts.Circuits = []int{99}
+	if _, err := Run(opts); err == nil {
+		t.Error("index 99 accepted")
+	}
+}
+
+func TestTable2Format(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(&buf, 0.004); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"crp_test1", "crp_test10", "45nm", "32nm", "#cells"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q", want)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 12 {
+		t.Errorf("Table2 has %d lines, want >= 12", lines)
+	}
+}
+
+func TestTable3Fig2Fig3Format(t *testing.T) {
+	res, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t3, f2, f3 bytes.Buffer
+	Table3(&t3, res)
+	Fig2(&f2, res)
+	Fig3(&f3, res)
+	if !strings.Contains(t3.String(), "crp_test1") || !strings.Contains(t3.String(), "Avg") {
+		t.Errorf("Table III malformed:\n%s", t3.String())
+	}
+	if !strings.Contains(f2.String(), "Baseline") {
+		t.Errorf("Fig 2 malformed:\n%s", f2.String())
+	}
+	for _, col := range []string{"GR", "GCP", "ECC", "UD", "Misc", "DR"} {
+		if !strings.Contains(f3.String(), col) {
+			t.Errorf("Fig 3 missing column %s", col)
+		}
+	}
+}
+
+func TestSOTAFailureRendersAsFailed(t *testing.T) {
+	opts := tinyOptions()
+	opts.SOTABudget = time.Nanosecond
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].SOTA.Failed {
+		t.Fatal("nanosecond budget did not fail")
+	}
+	var t3, f2 bytes.Buffer
+	Table3(&t3, res)
+	Fig2(&f2, res)
+	if !strings.Contains(t3.String(), "Failed") {
+		t.Error("Table III does not render Failed")
+	}
+	if !strings.Contains(f2.String(), "Failed") {
+		t.Error("Fig 2 does not render Failed")
+	}
+}
+
+// The headline reproduction shape on a small circuit: k=10 beats k=1 beats
+// nothing on vias, and CR&P adds no DRVs.
+func TestImprovementShape(t *testing.T) {
+	opts := tinyOptions()
+	opts.Circuits = []int{4} // a congested mid-suite circuit
+	opts.K10 = 6
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := res[0]
+	base := cr.Baseline.Metrics
+	if cr.K10.Metrics.Vias > base.Vias {
+		t.Errorf("k=%d vias regressed: %d -> %d", opts.K10, base.Vias, cr.K10.Metrics.Vias)
+	}
+	if cr.K10.Metrics.DRVs.Total() > base.DRVs.Total() {
+		t.Errorf("CR&P added DRVs: %d -> %d", base.DRVs.Total(), cr.K10.Metrics.DRVs.Total())
+	}
+	if cr.K10.Metrics.Vias > cr.K1.Metrics.Vias {
+		t.Logf("note: k=10 (%d vias) did not beat k=1 (%d) on this tiny instance",
+			cr.K10.Metrics.Vias, cr.K1.Metrics.Vias)
+	}
+}

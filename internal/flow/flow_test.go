@@ -1,0 +1,159 @@
+package flow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/ispd"
+)
+
+func design(t testing.TB, seed int64) *db.Design {
+	t.Helper()
+	d, err := ispd.Generate(ispd.Spec{
+		Name: "flow_fixture", Node: "n45", Cells: 250, Nets: 200,
+		Utilisation: 0.87, Hotspots: 2, IOFraction: 0.03, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CRP.Workers = 2
+	return cfg
+}
+
+func TestRunBaseline(t *testing.T) {
+	r := RunBaseline(design(t, 1), quickConfig())
+	if r.Metrics.WirelengthDBU <= 0 || r.Metrics.Vias <= 0 {
+		t.Fatalf("degenerate metrics: %+v", r.Metrics)
+	}
+	if r.Timings.GlobalRoute <= 0 || r.Timings.DetailRoute <= 0 {
+		t.Error("timings not recorded")
+	}
+	if r.Timings.Middle != 0 {
+		t.Error("baseline has no middle stage")
+	}
+	if r.Failed {
+		t.Error("baseline cannot fail")
+	}
+}
+
+func TestRunCRP(t *testing.T) {
+	r := RunCRP(design(t, 2), 2, quickConfig())
+	if r.CRPStats == nil || len(r.CRPStats.Iterations) != 2 {
+		t.Fatalf("CRPStats = %+v", r.CRPStats)
+	}
+	if r.Timings.Middle <= 0 {
+		t.Error("CR&P stage not timed")
+	}
+	if r.Timings.CRPPhases.Total() <= 0 {
+		t.Error("phase breakdown missing")
+	}
+	if r.Metrics.Vias <= 0 {
+		t.Error("no metrics")
+	}
+}
+
+func TestRunSOTA(t *testing.T) {
+	r := RunSOTA(design(t, 3), quickConfig())
+	if r.Failed {
+		t.Fatal("unbudgeted SOTA run failed")
+	}
+	if r.BaselineStats == nil || r.BaselineStats.MovedCells == 0 {
+		t.Error("SOTA moved nothing")
+	}
+	if r.Metrics.Vias <= 0 {
+		t.Error("no metrics")
+	}
+}
+
+func TestRunSOTAFailure(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Baseline.TimeBudget = time.Nanosecond
+	r := RunSOTA(design(t, 4), cfg)
+	if !r.Failed {
+		t.Fatal("nanosecond budget did not fail")
+	}
+	if r.Metrics.Vias != 0 {
+		t.Error("failed run must carry no metrics")
+	}
+	if r.Timings.DetailRoute != 0 {
+		t.Error("failed run must not detail-route")
+	}
+}
+
+func TestCRPBeatsOrMatchesBaselineScore(t *testing.T) {
+	// The headline reproduction check at unit scale: CR&P k=3 must not
+	// regress the contest score, and across seeds it should win on vias.
+	better := 0
+	trials := 3
+	for seed := int64(10); seed < int64(10+trials); seed++ {
+		base := RunBaseline(design(t, seed), quickConfig())
+		crp := RunCRP(design(t, seed), 3, quickConfig())
+		if crp.Metrics.DRVs.Total() > base.Metrics.DRVs.Total() {
+			t.Errorf("seed %d: CR&P added DRVs (%d -> %d)", seed,
+				base.Metrics.DRVs.Total(), crp.Metrics.DRVs.Total())
+		}
+		if crp.Metrics.Vias <= base.Metrics.Vias {
+			better++
+		}
+	}
+	if better == 0 {
+		t.Errorf("CR&P never matched baseline vias in %d trials", trials)
+	}
+}
+
+func TestRunCRPWithOutputs(t *testing.T) {
+	var def, guides bytes.Buffer
+	r, err := RunCRPWithOutputs(design(t, 5), 1, quickConfig(), &def, &guides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics.Vias <= 0 {
+		t.Error("no metrics")
+	}
+	if !strings.Contains(def.String(), "END DESIGN") {
+		t.Error("DEF output truncated")
+	}
+	if !strings.Contains(guides.String(), "(") {
+		t.Error("guide output empty")
+	}
+}
+
+func TestTimingsSumToTotal(t *testing.T) {
+	r := RunCRP(design(t, 6), 2, quickConfig())
+	sum := r.Timings.GlobalRoute + r.Timings.Middle + r.Timings.DetailRoute
+	if sum != r.Timings.Total {
+		t.Errorf("stage times %v do not sum to total %v", sum, r.Timings.Total)
+	}
+}
+
+func TestCRPPhaseTimesWithinMiddle(t *testing.T) {
+	r := RunCRP(design(t, 7), 2, quickConfig())
+	if r.Timings.CRPPhases.Total() > r.Timings.Middle {
+		t.Errorf("phase sum %v exceeds middle stage %v",
+			r.Timings.CRPPhases.Total(), r.Timings.Middle)
+	}
+}
+
+func TestFreshDesignsIndependent(t *testing.T) {
+	// Running baseline then CR&P on the same design object would leak
+	// state; the flow API contract is fresh designs per run. Verify the
+	// guard: running CR&P after baseline on the same object must not
+	// corrupt legality even though metrics will differ.
+	d := design(t, 8)
+	RunBaseline(d, quickConfig())
+	r := RunCRP(d, 1, quickConfig())
+	if err := d.Validate(); err != nil {
+		t.Fatalf("design corrupted: %v", err)
+	}
+	if r.Metrics.Vias <= 0 {
+		t.Error("second flow produced no metrics")
+	}
+}

@@ -1,0 +1,321 @@
+// Package geom provides the integer geometry primitives used throughout the
+// CR&P flow. All coordinates are in database units (DBU); the physical size
+// of a DBU is defined by the technology (see internal/tech).
+//
+// The package is deliberately allocation-light: Point, Rect and Interval are
+// small value types, and every operation returns a new value rather than
+// mutating its receiver.
+package geom
+
+import "fmt"
+
+// Point is a location in the plane, in DBU.
+type Point struct {
+	X, Y int
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int) Point { return Point{x, y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// ManhattanDist returns the L1 distance between p and q.
+func (p Point) ManhattanDist(q Point) int {
+	return Abs(p.X-q.X) + Abs(p.Y-q.Y)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Point3 is a location in the 3D routing space: a plane position plus a
+// routing-layer index (0 is the lowest routing layer).
+type Point3 struct {
+	X, Y, L int
+}
+
+// Pt3 is shorthand for Point3{x, y, l}.
+func Pt3(x, y, l int) Point3 { return Point3{x, y, l} }
+
+// XY projects the 3D point onto the plane.
+func (p Point3) XY() Point { return Point{p.X, p.Y} }
+
+// String implements fmt.Stringer.
+func (p Point3) String() string { return fmt.Sprintf("(%d,%d,m%d)", p.X, p.Y, p.L) }
+
+// Rect is an axis-aligned rectangle. Lo is the lower-left corner (inclusive)
+// and Hi the upper-right corner (exclusive), matching half-open interval
+// semantics: a Rect covers Lo.X <= x < Hi.X and Lo.Y <= y < Hi.Y.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// R builds a Rect from the two corner coordinates, normalising order.
+func R(x0, y0, x1, y1 int) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Point{x0, y0}, Point{x1, y1}}
+}
+
+// W returns the rectangle width.
+func (r Rect) W() int { return r.Hi.X - r.Lo.X }
+
+// H returns the rectangle height.
+func (r Rect) H() int { return r.Hi.Y - r.Lo.Y }
+
+// Area returns the rectangle area. Degenerate rectangles have zero area.
+func (r Rect) Area() int64 {
+	if r.Empty() {
+		return 0
+	}
+	return int64(r.W()) * int64(r.H())
+}
+
+// Empty reports whether the rectangle covers no area.
+func (r Rect) Empty() bool { return r.Hi.X <= r.Lo.X || r.Hi.Y <= r.Lo.Y }
+
+// Center returns the rectangle center, rounding down.
+func (r Rect) Center() Point {
+	return Point{(r.Lo.X + r.Hi.X) / 2, (r.Lo.Y + r.Hi.Y) / 2}
+}
+
+// Contains reports whether p lies inside the half-open rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Lo.X && p.X < r.Hi.X && p.Y >= r.Lo.Y && p.Y < r.Hi.Y
+}
+
+// ContainsRect reports whether q lies entirely within r.
+func (r Rect) ContainsRect(q Rect) bool {
+	return q.Lo.X >= r.Lo.X && q.Hi.X <= r.Hi.X && q.Lo.Y >= r.Lo.Y && q.Hi.Y <= r.Hi.Y
+}
+
+// Overlaps reports whether r and q share interior area. Empty rectangles
+// overlap nothing.
+func (r Rect) Overlaps(q Rect) bool {
+	if r.Empty() || q.Empty() {
+		return false
+	}
+	return r.Lo.X < q.Hi.X && q.Lo.X < r.Hi.X && r.Lo.Y < q.Hi.Y && q.Lo.Y < r.Hi.Y
+}
+
+// Intersect returns the overlap of r and q; the result is Empty when they do
+// not overlap.
+func (r Rect) Intersect(q Rect) Rect {
+	out := Rect{
+		Point{max(r.Lo.X, q.Lo.X), max(r.Lo.Y, q.Lo.Y)},
+		Point{min(r.Hi.X, q.Hi.X), min(r.Hi.Y, q.Hi.Y)},
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Union returns the bounding box of r and q. An empty rectangle acts as the
+// identity element.
+func (r Rect) Union(q Rect) Rect {
+	if r.Empty() {
+		return q
+	}
+	if q.Empty() {
+		return r
+	}
+	return Rect{
+		Point{min(r.Lo.X, q.Lo.X), min(r.Lo.Y, q.Lo.Y)},
+		Point{max(r.Hi.X, q.Hi.X), max(r.Hi.Y, q.Hi.Y)},
+	}
+}
+
+// Expand grows the rectangle by d on all four sides (shrinks when d < 0).
+func (r Rect) Expand(d int) Rect {
+	return Rect{Point{r.Lo.X - d, r.Lo.Y - d}, Point{r.Hi.X + d, r.Hi.Y + d}}
+}
+
+// Translate returns r shifted by p.
+func (r Rect) Translate(p Point) Rect {
+	return Rect{r.Lo.Add(p), r.Hi.Add(p)}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d %d,%d]", r.Lo.X, r.Lo.Y, r.Hi.X, r.Hi.Y)
+}
+
+// Interval is a half-open 1D interval [Lo, Hi).
+type Interval struct {
+	Lo, Hi int
+}
+
+// Iv builds an Interval, normalising order.
+func Iv(lo, hi int) Interval {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Interval{lo, hi}
+}
+
+// Len returns the interval length.
+func (iv Interval) Len() int { return iv.Hi - iv.Lo }
+
+// Empty reports whether the interval has zero or negative length.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Contains reports whether x lies inside the half-open interval.
+func (iv Interval) Contains(x int) bool { return x >= iv.Lo && x < iv.Hi }
+
+// Overlaps reports whether the interiors of iv and other intersect.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Lo < other.Hi && other.Lo < iv.Hi
+}
+
+// Intersect returns the overlap of the two intervals (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	out := Interval{max(iv.Lo, other.Lo), min(iv.Hi, other.Hi)}
+	if out.Empty() {
+		return Interval{}
+	}
+	return out
+}
+
+// Union returns the smallest interval covering both (gaps included).
+func (iv Interval) Union(other Interval) Interval {
+	if iv.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return iv
+	}
+	return Interval{min(iv.Lo, other.Lo), max(iv.Hi, other.Hi)}
+}
+
+// Clamp returns x restricted to [iv.Lo, iv.Hi-1]; it panics on an empty
+// interval because there is no representable value.
+func (iv Interval) Clamp(x int) int {
+	if iv.Empty() {
+		panic("geom: Clamp on empty interval")
+	}
+	if x < iv.Lo {
+		return iv.Lo
+	}
+	if x >= iv.Hi {
+		return iv.Hi - 1
+	}
+	return x
+}
+
+// Abs returns |x|.
+func Abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Median returns the lower median of xs. It copies and partially sorts the
+// input, so the caller's slice is untouched. Median of an empty slice is 0.
+func Median(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]int, len(xs))
+	copy(cp, xs)
+	k := (len(cp) - 1) / 2
+	return quickselect(cp, k)
+}
+
+// MedianPoint returns the component-wise lower median of the points: the
+// classic optimal single-cell location for star-model wirelength.
+func MedianPoint(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	xs := make([]int, len(pts))
+	ys := make([]int, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+		ys[i] = p.Y
+	}
+	return Point{Median(xs), Median(ys)}
+}
+
+// quickselect returns the k-th smallest element of xs (0-based), reordering
+// xs in the process.
+func quickselect(xs []int, k int) int {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		// Median-of-three pivot keeps adversarial inputs from degrading
+		// to quadratic behaviour on the sorted slices we often receive.
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return xs[k]
+		}
+	}
+	return xs[lo]
+}
+
+// SnapDown rounds x down to the nearest multiple of step (step > 0).
+// Negative x rounds toward negative infinity, matching site/row snapping
+// semantics for placements left of the origin.
+func SnapDown(x, step int) int {
+	if step <= 0 {
+		panic("geom: SnapDown with non-positive step")
+	}
+	r := x % step
+	if r < 0 {
+		r += step
+	}
+	return x - r
+}
+
+// SnapUp rounds x up to the nearest multiple of step (step > 0).
+func SnapUp(x, step int) int {
+	d := SnapDown(x, step)
+	if d == x {
+		return x
+	}
+	return d + step
+}
+
+// SnapNearest rounds x to the nearest multiple of step, ties rounding up.
+func SnapNearest(x, step int) int {
+	d := SnapDown(x, step)
+	if x-d < d+step-x {
+		return d
+	}
+	return d + step
+}

@@ -1,0 +1,329 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArith(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 6) {
+		t.Errorf("Add = %v, want (2,6)", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 2) {
+		t.Errorf("Sub = %v, want (4,2)", got)
+	}
+	if got := p.ManhattanDist(q); got != 6 {
+		t.Errorf("ManhattanDist = %d, want 6", got)
+	}
+	if got := p.ManhattanDist(p); got != 0 {
+		t.Errorf("ManhattanDist self = %d, want 0", got)
+	}
+}
+
+func TestPoint3XY(t *testing.T) {
+	p := Pt3(5, 7, 2)
+	if p.XY() != Pt(5, 7) {
+		t.Errorf("XY = %v", p.XY())
+	}
+	if p.String() != "(5,7,m2)" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestRectNormalisation(t *testing.T) {
+	r := R(10, 20, 0, 5)
+	if r.Lo != Pt(0, 5) || r.Hi != Pt(10, 20) {
+		t.Fatalf("R did not normalise: %v", r)
+	}
+	if r.W() != 10 || r.H() != 15 {
+		t.Errorf("W,H = %d,%d", r.W(), r.H())
+	}
+	if r.Area() != 150 {
+		t.Errorf("Area = %d", r.Area())
+	}
+}
+
+func TestRectEmptyAndArea(t *testing.T) {
+	if !(Rect{}).Empty() {
+		t.Error("zero Rect should be empty")
+	}
+	if (Rect{}).Area() != 0 {
+		t.Error("empty rect area should be 0")
+	}
+	degenerate := Rect{Pt(5, 5), Pt(5, 10)}
+	if !degenerate.Empty() {
+		t.Error("zero-width rect should be empty")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},
+		{Pt(9, 9), true},
+		{Pt(10, 10), false}, // hi edge is exclusive
+		{Pt(10, 5), false},
+		{Pt(-1, 5), false},
+		{Pt(5, 5), true},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectOverlapIntersect(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	c := R(10, 0, 20, 10) // shares only an edge with a
+	if !a.Overlaps(b) {
+		t.Error("a should overlap b")
+	}
+	if a.Overlaps(c) {
+		t.Error("edge-touching rects must not count as overlapping")
+	}
+	got := a.Intersect(b)
+	if got != R(5, 5, 10, 10) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !a.Intersect(c).Empty() {
+		t.Error("edge-touch intersect should be empty")
+	}
+}
+
+func TestRectUnionIdentity(t *testing.T) {
+	a := R(2, 3, 4, 5)
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("Union with empty = %v", got)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Errorf("empty Union a = %v", got)
+	}
+	b := R(10, 10, 12, 12)
+	if got := a.Union(b); got != R(2, 3, 12, 12) {
+		t.Errorf("Union = %v", got)
+	}
+}
+
+func TestRectExpandTranslate(t *testing.T) {
+	r := R(5, 5, 10, 10)
+	if got := r.Expand(2); got != R(3, 3, 12, 12) {
+		t.Errorf("Expand = %v", got)
+	}
+	if got := r.Translate(Pt(1, -1)); got != R(6, 4, 11, 9) {
+		t.Errorf("Translate = %v", got)
+	}
+}
+
+func TestRectCenter(t *testing.T) {
+	if got := R(0, 0, 10, 4).Center(); got != Pt(5, 2) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Iv(8, 3)
+	if iv != (Interval{3, 8}) {
+		t.Fatalf("Iv did not normalise: %v", iv)
+	}
+	if iv.Len() != 5 {
+		t.Errorf("Len = %d", iv.Len())
+	}
+	if !iv.Contains(3) || iv.Contains(8) || !iv.Contains(7) {
+		t.Error("Contains half-open semantics broken")
+	}
+	if !iv.Overlaps(Iv(7, 20)) || iv.Overlaps(Iv(8, 20)) {
+		t.Error("Overlaps half-open semantics broken")
+	}
+	if got := iv.Intersect(Iv(5, 20)); got != (Interval{5, 8}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := iv.Union(Iv(20, 30)); got != (Interval{3, 30}) {
+		t.Errorf("Union = %v", got)
+	}
+}
+
+func TestIntervalClamp(t *testing.T) {
+	iv := Iv(2, 10)
+	if iv.Clamp(-5) != 2 || iv.Clamp(50) != 9 || iv.Clamp(5) != 5 {
+		t.Error("Clamp wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp on empty interval should panic")
+		}
+	}()
+	Interval{}.Clamp(0)
+}
+
+func TestAbs(t *testing.T) {
+	if Abs(-7) != 7 || Abs(7) != 7 || Abs(0) != 0 {
+		t.Error("Abs wrong")
+	}
+}
+
+func TestMedianSmall(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{5}, 5},
+		{[]int{5, 1}, 1}, // lower median
+		{[]int{3, 1, 2}, 2},
+		{[]int{4, 4, 4, 4}, 4},
+		{[]int{9, 1, 8, 2, 7}, 7},
+		{[]int{-3, 10, 0, -8}, -3},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []int{5, 3, 1, 4, 2}
+	Median(in)
+	want := []int{5, 3, 1, 4, 2}
+	for i := range in {
+		if in[i] != want[i] {
+			t.Fatalf("Median mutated input: %v", in)
+		}
+	}
+}
+
+func TestMedianMatchesSortQuick(t *testing.T) {
+	f := func(xs []int16) bool {
+		if len(xs) == 0 {
+			return Median(nil) == 0
+		}
+		in := make([]int, len(xs))
+		for i, v := range xs {
+			in[i] = int(v)
+		}
+		got := Median(in)
+		sort.Ints(in)
+		return got == in[(len(in)-1)/2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianPoint(t *testing.T) {
+	pts := []Point{Pt(0, 10), Pt(4, 0), Pt(2, 6)}
+	if got := MedianPoint(pts); got != Pt(2, 6) {
+		t.Errorf("MedianPoint = %v", got)
+	}
+	if got := MedianPoint(nil); got != Pt(0, 0) {
+		t.Errorf("MedianPoint(nil) = %v", got)
+	}
+}
+
+// MedianPoint minimises star wirelength: moving to any other grid point must
+// not reduce total Manhattan distance.
+func TestMedianPointOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	starWL := func(c Point, pts []Point) int {
+		s := 0
+		for _, p := range pts {
+			s += c.ManhattanDist(p)
+		}
+		return s
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(9)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Intn(40), rng.Intn(40))
+		}
+		m := MedianPoint(pts)
+		best := starWL(m, pts)
+		for x := 0; x < 40; x++ {
+			for y := 0; y < 40; y++ {
+				if wl := starWL(Pt(x, y), pts); wl < best {
+					t.Fatalf("trial %d: median %v (wl=%d) beaten by (%d,%d) (wl=%d), pts=%v",
+						trial, m, best, x, y, wl, pts)
+				}
+			}
+		}
+	}
+}
+
+func TestSnap(t *testing.T) {
+	cases := []struct {
+		x, step           int
+		down, up, nearest int
+	}{
+		{0, 5, 0, 0, 0},
+		{7, 5, 5, 10, 5},
+		{8, 5, 5, 10, 10},
+		{10, 5, 10, 10, 10},
+		{-3, 5, -5, 0, -5},
+		{-7, 5, -10, -5, -5},
+	}
+	for _, c := range cases {
+		if got := SnapDown(c.x, c.step); got != c.down {
+			t.Errorf("SnapDown(%d,%d) = %d, want %d", c.x, c.step, got, c.down)
+		}
+		if got := SnapUp(c.x, c.step); got != c.up {
+			t.Errorf("SnapUp(%d,%d) = %d, want %d", c.x, c.step, got, c.up)
+		}
+		if got := SnapNearest(c.x, c.step); got != c.nearest {
+			t.Errorf("SnapNearest(%d,%d) = %d, want %d", c.x, c.step, got, c.nearest)
+		}
+	}
+}
+
+func TestSnapPanicsOnBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SnapDown with step 0 should panic")
+		}
+	}()
+	SnapDown(3, 0)
+}
+
+func TestSnapProperties(t *testing.T) {
+	f := func(x int16, stepRaw uint8) bool {
+		step := int(stepRaw%50) + 1
+		d := SnapDown(int(x), step)
+		u := SnapUp(int(x), step)
+		if d%step != 0 || u%step != 0 {
+			return false
+		}
+		if d > int(x) || u < int(x) {
+			return false
+		}
+		return u-d == 0 || u-d == step
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectIntersectCommutesQuick(t *testing.T) {
+	f := func(ax0, ay0, aw, ah, bx0, by0, bw, bh uint8) bool {
+		a := R(int(ax0), int(ay0), int(ax0)+int(aw), int(ay0)+int(ah))
+		b := R(int(bx0), int(by0), int(bx0)+int(bw), int(by0)+int(bh))
+		i1 := a.Intersect(b)
+		i2 := b.Intersect(a)
+		if i1 != i2 {
+			return false
+		}
+		// Overlap consistency: non-empty intersection iff Overlaps.
+		return i1.Empty() != a.Overlaps(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

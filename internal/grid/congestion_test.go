@@ -1,0 +1,78 @@
+package grid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCongestionMapReflectsDemand(t *testing.T) {
+	g := newGrid(t)
+	m := g.Congestion()
+	if m.NX != g.NX || m.NY != g.NY {
+		t.Fatalf("map dims %dx%d, want %dx%d", m.NX, m.NY, g.NX, g.NY)
+	}
+	if m.Max() >= 1 {
+		t.Errorf("fresh grid should be far below capacity, max = %v", m.Max())
+	}
+	// Saturate one edge and check both incident GCells light up.
+	x, y, l := 2, 2, 2
+	g.AddWire(x, y, l, g.Capacity(x, y, l)*1.5)
+	m = g.Congestion()
+	if m.At(x, y) <= 1 {
+		t.Errorf("src GCell ratio %v, want > 1", m.At(x, y))
+	}
+	if m.At(x+1, y) <= 1 { // horizontal layer: dst is x+1
+		t.Errorf("dst GCell ratio %v, want > 1", m.At(x+1, y))
+	}
+	if m.Overflowed() < 2 {
+		t.Errorf("Overflowed = %d, want >= 2", m.Overflowed())
+	}
+}
+
+func TestCongestionMapMaxMatchesScan(t *testing.T) {
+	g := newGrid(t)
+	g.AddWire(3, 1, 2, 7)
+	g.AddWire(1, 3, 1, 12)
+	m := g.Congestion()
+	worst := 0.0
+	for _, r := range m.Ratio {
+		if r > worst {
+			worst = r
+		}
+	}
+	if m.Max() != worst {
+		t.Errorf("Max() = %v, scan says %v", m.Max(), worst)
+	}
+}
+
+func TestWriteHeatmap(t *testing.T) {
+	g := newGrid(t)
+	x, y, l := 2, 2, 2
+	g.AddWire(x, y, l, g.Capacity(x, y, l)*2)
+	var buf bytes.Buffer
+	if err := g.Congestion().WriteHeatmap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != g.NY+1 {
+		t.Fatalf("heatmap has %d lines, want %d rows + legend", len(lines), g.NY+1)
+	}
+	for i, line := range lines[:g.NY] {
+		if len(line) != g.NX {
+			t.Fatalf("row %d has width %d, want %d", i, len(line), g.NX)
+		}
+	}
+	if !strings.Contains(out, "X") {
+		t.Error("overflowed edge should render as X")
+	}
+	if !strings.Contains(lines[len(lines)-1], "legend") {
+		t.Error("legend missing")
+	}
+	// Row order: overflow at lattice y=2 must appear on printed line
+	// NY-1-2 from the top.
+	if !strings.ContainsRune(lines[g.NY-1-y], 'X') {
+		t.Errorf("X not on expected printed row:\n%s", out)
+	}
+}

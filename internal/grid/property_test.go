@@ -1,0 +1,107 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Penalty is always a probability and strictly increases with demand.
+func TestPenaltyBoundedAndMonotoneQuick(t *testing.T) {
+	g := newGrid(t)
+	x, y, l := 2, 2, 2
+	// Demands stay within ±30 of capacity so the logistic does not
+	// saturate to exactly 1.0 in float64 (exp(-700) underflows); beyond
+	// that only weak monotonicity can hold.
+	f := func(w1raw, w2raw uint16) bool {
+		w1 := float64(w1raw % 12)
+		w2 := w1 + float64(w2raw%8) + 0.5
+		g2 := newGrid(t)
+		g2.AddWire(x, y, l, w1)
+		p1 := g2.Penalty(x, y, l)
+		g2.AddWire(x, y, l, w2-w1)
+		p2 := g2.Penalty(x, y, l)
+		return p1 > 0 && p2 < 1 && p2 > p1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	_ = g
+}
+
+// Demand decomposes additively over wire usage for fixed via state.
+func TestDemandAdditivity(t *testing.T) {
+	g := newGrid(t)
+	x, y, l := 3, 2, 2
+	base := g.Demand(x, y, l)
+	rng := rand.New(rand.NewSource(12))
+	total := 0.0
+	for i := 0; i < 50; i++ {
+		delta := rng.Float64() * 3
+		g.AddWire(x, y, l, delta)
+		total += delta
+		if got := g.Demand(x, y, l); math.Abs(got-base-total) > 1e-9 {
+			t.Fatalf("step %d: demand %v, want %v", i, got, base+total)
+		}
+	}
+}
+
+// Via demand is symmetric in src/dst: adding vias to either end of an edge
+// raises its demand identically.
+func TestViaDemandSymmetry(t *testing.T) {
+	gA := newGrid(t)
+	gB := newGrid(t)
+	// Horizontal layer 2 edge (3,3)->(4,3).
+	gA.AddVia(3, 3, 1, 4) // src end
+	gB.AddVia(4, 3, 1, 4) // dst end
+	dA := gA.Demand(3, 3, 2)
+	dB := gB.Demand(3, 3, 2)
+	if math.Abs(dA-dB) > 1e-12 {
+		t.Errorf("demand asymmetric: src %v vs dst %v", dA, dB)
+	}
+}
+
+// Wire cost is bounded by Unit*(1..2) on existing edges — the penalty can
+// never push cost beyond 2x, keeping router behaviour predictable.
+func TestWireCostBounds(t *testing.T) {
+	g := newGrid(t)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		x, y := rng.Intn(g.NX), rng.Intn(g.NY)
+		l := 1 + rng.Intn(g.NL-1)
+		if !g.HasEdge(x, y, l) {
+			continue
+		}
+		if rng.Float64() < 0.5 {
+			g.AddWire(x, y, l, rng.Float64()*20)
+		}
+		c := g.WireEdgeCost(x, y, l)
+		if c < g.Params.UnitWire || c > 2*g.Params.UnitWire {
+			t.Fatalf("wire cost %v out of [%v,%v]", c, g.Params.UnitWire, 2*g.Params.UnitWire)
+		}
+	}
+}
+
+// Overflow stats are consistent: TotalOverflow >= MaxOverflow >= 0 and the
+// edge count is positive iff the total is.
+func TestOverflowConsistencyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 20; trial++ {
+		g := newGrid(t)
+		for i := 0; i < rng.Intn(30); i++ {
+			x, y := rng.Intn(g.NX), rng.Intn(g.NY)
+			l := 1 + rng.Intn(g.NL-1)
+			if g.HasEdge(x, y, l) {
+				g.AddWire(x, y, l, rng.Float64()*40)
+			}
+		}
+		s := g.Overflow()
+		if s.TotalOverflow < s.MaxOverflow {
+			t.Fatalf("trial %d: total %v < max %v", trial, s.TotalOverflow, s.MaxOverflow)
+		}
+		if (s.OverflowedEdges > 0) != (s.TotalOverflow > 0) {
+			t.Fatalf("trial %d: edges %d vs total %v", trial, s.OverflowedEdges, s.TotalOverflow)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package ilp
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteLP dumps the model in CPLEX LP file format, so models built by the
+// legalizer or the selection step can be inspected, diffed in tests, or fed
+// to an external solver for cross-checking. Variables without names are
+// emitted as x<i>.
+func (m *Model) WriteLP(w io.Writer) error {
+	ew := &lpWriter{w: w}
+	ew.printf("Minimize\n obj:")
+	first := true
+	for i, c := range m.costs {
+		if c == 0 {
+			continue
+		}
+		ew.term(&first, c, m.varName(i))
+	}
+	if first {
+		ew.printf(" 0 x0")
+	}
+	ew.printf("\nSubject To\n")
+	for ci, con := range m.cons {
+		name := con.Name
+		if name == "" {
+			name = fmt.Sprintf("c%d", ci)
+		}
+		ew.printf(" %s_%d:", sanitize(name), ci)
+		firstT := true
+		for _, t := range con.Terms {
+			ew.term(&firstT, t.Coef, m.varName(int(t.Var)))
+		}
+		if firstT {
+			ew.printf(" 0 %s", m.varName(0))
+		}
+		ew.printf(" %s %g\n", con.Op.lpSymbol(), con.RHS)
+	}
+	ew.printf("Binaries\n")
+	for i := range m.costs {
+		ew.printf(" %s", m.varName(i))
+	}
+	ew.printf("\nEnd\n")
+	return ew.err
+}
+
+func (m *Model) varName(i int) string {
+	if i < len(m.names) && m.names[i] != "" {
+		return sanitize(m.names[i])
+	}
+	return fmt.Sprintf("x%d", i)
+}
+
+func (o Op) lpSymbol() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// sanitize replaces characters the LP format rejects.
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}
+
+type lpWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *lpWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// term emits one signed linear term.
+func (e *lpWriter) term(first *bool, coef float64, name string) {
+	if coef == 0 {
+		return
+	}
+	if *first {
+		*first = false
+		e.printf(" %g %s", coef, name)
+		return
+	}
+	if coef >= 0 {
+		e.printf(" + %g %s", coef, name)
+	} else {
+		e.printf(" - %g %s", -coef, name)
+	}
+}

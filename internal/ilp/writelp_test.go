@@ -1,0 +1,57 @@
+package ilp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteLP(t *testing.T) {
+	m := NewModel()
+	a := m.AddBinary("pick a", -2.5)
+	b := m.AddBinary("", 1)
+	m.AddConstraint("one", []Term{{a, 1}, {b, 1}}, EQ, 1)
+	m.AddConstraint("", []Term{{a, 2}, {b, -3}}, LE, 4)
+	m.AddConstraint("ge", []Term{{b, 1}}, GE, 0)
+	var buf bytes.Buffer
+	if err := m.WriteLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Minimize", "Subject To", "Binaries", "End",
+		"pick_a", // sanitised name
+		"x1",     // anonymous variable
+		"= 1", "<= 4", ">= 0",
+		"- 3 x1",      // negative coefficient formatting
+		"-2.5 pick_a", // objective
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPEmptyModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewModel().WriteLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "End") {
+		t.Error("empty model LP truncated")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"plain":  "plain",
+		"a b(c)": "a_b_c_",
+		"":       "_",
+		"x[3],y": "x_3__y",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package lefdef
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/crp-eda/crp/internal/ispd"
+)
+
+// Native fuzz targets: without -fuzz these run their seed corpus as normal
+// tests; with `go test -fuzz=FuzzParseLEF ./internal/lefdef` they explore
+// mutations. The invariant in both modes is the same: parsers must return
+// errors, never panic, on arbitrary input.
+
+func lefSeed(t testing.TB) string {
+	d, err := ispd.Generate(ispd.Spec{
+		Name: "fuzzseed", Node: "n45", Cells: 60, Nets: 40,
+		Utilisation: 0.8, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLEF(&buf, d.Tech, d.Macros); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func FuzzParseLEF(f *testing.F) {
+	f.Add(lefSeed(f))
+	f.Add("")
+	f.Add("LAYER m1\nEND m1\n")
+	f.Add("MACRO A\nSIZE 1 BY\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		// Must not panic; errors are fine.
+		ParseLEF(strings.NewReader(input))
+	})
+}
+
+func FuzzParseDEF(f *testing.F) {
+	d, err := ispd.Generate(ispd.Spec{
+		Name: "fuzzdef", Node: "n45", Cells: 60, Nets: 40,
+		Utilisation: 0.8, Seed: 78,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var def bytes.Buffer
+	if err := WriteDEF(&def, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(def.String())
+	f.Add("")
+	f.Add("DESIGN x ;\nDIEAREA ( 0 0 ) ( 10 10 ) ;\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ParseDEF(strings.NewReader(input), d.Tech, d.Macros)
+	})
+}

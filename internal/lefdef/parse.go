@@ -1,0 +1,481 @@
+package lefdef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/tech"
+)
+
+// tokenizer splits a LEF/DEF stream into whitespace-separated tokens,
+// treating parentheses as standalone tokens (DEF surrounds them with
+// whitespace anyway, but inputs from other tools may not).
+type tokenizer struct {
+	toks []string
+	pos  int
+}
+
+func newTokenizer(r io.Reader) (*tokenizer, error) {
+	var toks []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.ReplaceAll(line, "(", " ( ")
+		line = strings.ReplaceAll(line, ")", " ) ")
+		toks = append(toks, strings.Fields(line)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return &tokenizer{toks: toks}, nil
+}
+
+func (t *tokenizer) done() bool { return t.pos >= len(t.toks) }
+
+func (t *tokenizer) next() (string, error) {
+	if t.done() {
+		return "", io.ErrUnexpectedEOF
+	}
+	tok := t.toks[t.pos]
+	t.pos++
+	return tok, nil
+}
+
+func (t *tokenizer) peek() string {
+	if t.done() {
+		return ""
+	}
+	return t.toks[t.pos]
+}
+
+// expect consumes the next token and verifies it.
+func (t *tokenizer) expect(want string) error {
+	got, err := t.next()
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("lefdef: expected %q, got %q (token %d)", want, got, t.pos)
+	}
+	return nil
+}
+
+func (t *tokenizer) nextInt() (int, error) {
+	tok, err := t.next()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("lefdef: expected integer, got %q", tok)
+	}
+	return v, nil
+}
+
+func (t *tokenizer) nextFloat() (float64, error) {
+	tok, err := t.next()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("lefdef: expected number, got %q", tok)
+	}
+	return v, nil
+}
+
+// skipStatement consumes tokens through the next ";".
+func (t *tokenizer) skipStatement() error {
+	for {
+		tok, err := t.next()
+		if err != nil {
+			return err
+		}
+		if tok == ";" {
+			return nil
+		}
+	}
+}
+
+// ParseLEF reads the technology and macro library from the subset emitted
+// by WriteLEF. Unknown statements inside known sections are skipped, so
+// mildly richer LEF files still parse.
+func ParseLEF(r io.Reader) (*tech.Tech, []*db.Macro, error) {
+	tk, err := newTokenizer(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &tech.Tech{Name: "lef", Node: "lef"}
+	var macros []*db.Macro
+	dbu := 1000 // default when UNITS precedes nothing
+	toDBU := func(v float64) int { return int(math.Round(v * float64(dbu))) }
+	toDBUArea := func(v float64) int { return int(math.Round(v * float64(dbu) * float64(dbu))) }
+
+	for !tk.done() {
+		tok, _ := tk.next()
+		switch tok {
+		case "VERSION", "BUSBITCHARS", "DIVIDERCHAR":
+			if err := tk.skipStatement(); err != nil {
+				return nil, nil, err
+			}
+		case "UNITS":
+			for tk.peek() != "END" {
+				f, err := tk.next()
+				if err != nil {
+					return nil, nil, err
+				}
+				if f == "DATABASE" {
+					if err := tk.expect("MICRONS"); err != nil {
+						return nil, nil, err
+					}
+					if dbu, err = tk.nextInt(); err != nil {
+						return nil, nil, err
+					}
+					if err := tk.expect(";"); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+			tk.next() // END
+			tk.next() // UNITS
+			t.DBU = dbu
+		case "LAYER":
+			l, err := parseLayer(tk, toDBU, toDBUArea)
+			if err != nil {
+				return nil, nil, err
+			}
+			l.Index = len(t.Layers)
+			t.Layers = append(t.Layers, l)
+		case "VIA":
+			v, err := parseVia(tk, t, toDBU)
+			if err != nil {
+				return nil, nil, err
+			}
+			t.Vias = append(t.Vias, v)
+		case "SITE":
+			s, err := parseSite(tk, toDBU)
+			if err != nil {
+				return nil, nil, err
+			}
+			t.Site = s
+		case "MACRO":
+			m, err := parseMacro(tk, t, toDBU)
+			if err != nil {
+				return nil, nil, err
+			}
+			macros = append(macros, m)
+		case "END":
+			tk.next() // LIBRARY
+		default:
+			return nil, nil, fmt.Errorf("lefdef: unexpected top-level token %q", tok)
+		}
+	}
+	if t.DBU == 0 {
+		t.DBU = dbu
+	}
+	if err := t.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("lefdef: parsed tech invalid: %w", err)
+	}
+	return t, macros, nil
+}
+
+func parseLayer(tk *tokenizer, toDBU, toDBUArea func(float64) int) (tech.Layer, error) {
+	var l tech.Layer
+	name, err := tk.next()
+	if err != nil {
+		return l, err
+	}
+	l.Name = name
+	for {
+		tok, err := tk.next()
+		if err != nil {
+			return l, err
+		}
+		switch tok {
+		case "END":
+			if _, err := tk.next(); err != nil { // layer name
+				return l, err
+			}
+			return l, nil
+		case "TYPE":
+			if err := tk.skipStatement(); err != nil {
+				return l, err
+			}
+		case "DIRECTION":
+			d, err := tk.next()
+			if err != nil {
+				return l, err
+			}
+			if d == "VERTICAL" {
+				l.Dir = tech.Vertical
+			} else {
+				l.Dir = tech.Horizontal
+			}
+			if err := tk.expect(";"); err != nil {
+				return l, err
+			}
+		case "PITCH", "WIDTH", "SPACING", "OFFSET":
+			v, err := tk.nextFloat()
+			if err != nil {
+				return l, err
+			}
+			switch tok {
+			case "PITCH":
+				l.Pitch = toDBU(v)
+			case "WIDTH":
+				l.Width = toDBU(v)
+			case "SPACING":
+				l.Spacing = toDBU(v)
+			case "OFFSET":
+				l.Offset = toDBU(v)
+			}
+			if err := tk.expect(";"); err != nil {
+				return l, err
+			}
+		case "AREA":
+			v, err := tk.nextFloat()
+			if err != nil {
+				return l, err
+			}
+			l.MinArea = toDBUArea(v)
+			if err := tk.expect(";"); err != nil {
+				return l, err
+			}
+		default:
+			if err := tk.skipStatement(); err != nil {
+				return l, err
+			}
+		}
+	}
+}
+
+func parseVia(tk *tokenizer, t *tech.Tech, toDBU func(float64) int) (tech.ViaRule, error) {
+	var v tech.ViaRule
+	name, err := tk.next()
+	if err != nil {
+		return v, err
+	}
+	v.Name = name
+	if tk.peek() == "DEFAULT" {
+		tk.next()
+	}
+	for {
+		tok, err := tk.next()
+		if err != nil {
+			return v, err
+		}
+		switch tok {
+		case "END":
+			if _, err := tk.next(); err != nil {
+				return v, err
+			}
+			return v, nil
+		case "LAYERBELOW":
+			ln, err := tk.next()
+			if err != nil {
+				return v, err
+			}
+			found := false
+			for _, l := range t.Layers {
+				if l.Name == ln {
+					v.Below = l.Index
+					found = true
+				}
+			}
+			if !found {
+				return v, fmt.Errorf("lefdef: via %s references unknown layer %q", v.Name, ln)
+			}
+			if err := tk.expect(";"); err != nil {
+				return v, err
+			}
+		case "CUTSIZE":
+			f, err := tk.nextFloat()
+			if err != nil {
+				return v, err
+			}
+			v.CutSize = toDBU(f)
+			if err := tk.expect(";"); err != nil {
+				return v, err
+			}
+		default:
+			if err := tk.skipStatement(); err != nil {
+				return v, err
+			}
+		}
+	}
+}
+
+func parseSite(tk *tokenizer, toDBU func(float64) int) (tech.Site, error) {
+	var s tech.Site
+	name, err := tk.next()
+	if err != nil {
+		return s, err
+	}
+	s.Name = name
+	for {
+		tok, err := tk.next()
+		if err != nil {
+			return s, err
+		}
+		switch tok {
+		case "END":
+			if _, err := tk.next(); err != nil {
+				return s, err
+			}
+			return s, nil
+		case "SIZE":
+			w, err := tk.nextFloat()
+			if err != nil {
+				return s, err
+			}
+			if err := tk.expect("BY"); err != nil {
+				return s, err
+			}
+			h, err := tk.nextFloat()
+			if err != nil {
+				return s, err
+			}
+			s.Width, s.Height = toDBU(w), toDBU(h)
+			if err := tk.expect(";"); err != nil {
+				return s, err
+			}
+		default:
+			if err := tk.skipStatement(); err != nil {
+				return s, err
+			}
+		}
+	}
+}
+
+func parseMacro(tk *tokenizer, t *tech.Tech, toDBU func(float64) int) (*db.Macro, error) {
+	m := &db.Macro{}
+	name, err := tk.next()
+	if err != nil {
+		return nil, err
+	}
+	m.Name = name
+	for {
+		tok, err := tk.next()
+		if err != nil {
+			return nil, err
+		}
+		switch tok {
+		case "END":
+			end, err := tk.next()
+			if err != nil {
+				return nil, err
+			}
+			if end != m.Name {
+				return nil, fmt.Errorf("lefdef: MACRO %s terminated by END %s", m.Name, end)
+			}
+			return m, nil
+		case "SIZE":
+			w, err := tk.nextFloat()
+			if err != nil {
+				return nil, err
+			}
+			if err := tk.expect("BY"); err != nil {
+				return nil, err
+			}
+			h, err := tk.nextFloat()
+			if err != nil {
+				return nil, err
+			}
+			m.Width, m.Height = toDBU(w), toDBU(h)
+			if err := tk.expect(";"); err != nil {
+				return nil, err
+			}
+		case "PIN":
+			p, err := parsePin(tk, t, toDBU)
+			if err != nil {
+				return nil, err
+			}
+			m.Pins = append(m.Pins, p)
+		default:
+			if err := tk.skipStatement(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func parsePin(tk *tokenizer, t *tech.Tech, toDBU func(float64) int) (db.PinDef, error) {
+	var p db.PinDef
+	name, err := tk.next()
+	if err != nil {
+		return p, err
+	}
+	p.Name = name
+	for {
+		tok, err := tk.next()
+		if err != nil {
+			return p, err
+		}
+		switch tok {
+		case "END":
+			end, err := tk.next()
+			if err != nil {
+				return p, err
+			}
+			if end != p.Name {
+				return p, fmt.Errorf("lefdef: PIN %s terminated by END %s", p.Name, end)
+			}
+			return p, nil
+		case "PORT":
+			// PORT ... END block.
+			for {
+				ptok, err := tk.next()
+				if err != nil {
+					return p, err
+				}
+				if ptok == "END" {
+					break
+				}
+				switch ptok {
+				case "LAYER":
+					ln, err := tk.next()
+					if err != nil {
+						return p, err
+					}
+					if l, ok := t.LayerByName(ln); ok {
+						p.Layer = l.Index
+					}
+					if err := tk.expect(";"); err != nil {
+						return p, err
+					}
+				case "POINT":
+					x, err := tk.nextFloat()
+					if err != nil {
+						return p, err
+					}
+					y, err := tk.nextFloat()
+					if err != nil {
+						return p, err
+					}
+					p.Offset = geom.Pt(toDBU(x), toDBU(y))
+					if err := tk.expect(";"); err != nil {
+						return p, err
+					}
+				default:
+					if err := tk.skipStatement(); err != nil {
+						return p, err
+					}
+				}
+			}
+		default:
+			if err := tk.skipStatement(); err != nil {
+				return p, err
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package lefdef
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/crp-eda/crp/internal/ispd"
+)
+
+// Truncated inputs must produce errors, never panics or silent half-parsed
+// results. This drives the tokenizer and every section parser through their
+// unexpected-EOF paths.
+func TestTruncatedInputsFailCleanly(t *testing.T) {
+	d, err := ispd.Generate(ispd.Spec{
+		Name: "trunc", Node: "n45", Cells: 60, Nets: 40,
+		Utilisation: 0.8, IOFraction: 0.2, Obstacles: 1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lef, def bytes.Buffer
+	if err := WriteLEF(&lef, d.Tech, d.Macros); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDEF(&def, d); err != nil {
+		t.Fatal(err)
+	}
+	tech, macros, err := ParseLEF(bytes.NewReader(lef.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lefStr := lef.String()
+	// Cut at a spread of byte offsets; every cut must error (the only
+	// exception would be cutting exactly at the end).
+	for frac := 1; frac <= 9; frac++ {
+		cut := len(lefStr) * frac / 10
+		_, _, err := ParseLEF(strings.NewReader(lefStr[:cut]))
+		if err == nil {
+			t.Errorf("LEF truncated at %d/10 parsed successfully", frac)
+		}
+	}
+	defStr := def.String()
+	for frac := 1; frac <= 9; frac++ {
+		cut := len(defStr) * frac / 10
+		_, err := ParseDEF(strings.NewReader(defStr[:cut]), tech, macros)
+		if err == nil {
+			t.Errorf("DEF truncated at %d/10 parsed successfully", frac)
+		}
+	}
+}
+
+// Token-level corruption: swapping a keyword must error, not crash.
+func TestCorruptedKeywordsFailCleanly(t *testing.T) {
+	d, err := ispd.Generate(ispd.Spec{
+		Name: "corrupt", Node: "n45", Cells: 50, Nets: 30,
+		Utilisation: 0.8, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var def bytes.Buffer
+	if err := WriteDEF(&def, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, swap := range [][2]string{
+		{"PLACED", "TELEPORTED"},
+		{"DIEAREA", "PIEAREA"},
+		{" N ;", " NORTHWEST ;"},
+	} {
+		corrupted := strings.Replace(def.String(), swap[0], swap[1], 1)
+		if corrupted == def.String() {
+			continue // keyword not present in this design
+		}
+		if _, err := ParseDEF(strings.NewReader(corrupted), d.Tech, d.Macros); err == nil {
+			t.Errorf("corruption %q -> %q parsed successfully", swap[0], swap[1])
+		}
+	}
+}
+
+// An empty stream parses as an empty (invalid) library/design with a clear
+// error rather than a panic.
+func TestEmptyInputs(t *testing.T) {
+	if _, _, err := ParseLEF(strings.NewReader("")); err == nil {
+		t.Error("empty LEF accepted (tech cannot validate)")
+	}
+	d, err := ispd.Generate(ispd.Spec{
+		Name: "e", Node: "n45", Cells: 50, Nets: 30, Utilisation: 0.8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseDEF(strings.NewReader(""), d.Tech, d.Macros); err == nil {
+		t.Error("empty DEF accepted (no rows/cells)")
+	}
+}

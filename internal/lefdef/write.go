@@ -1,0 +1,181 @@
+// Package lefdef reads and writes the LEF/DEF subset the CR&P flow uses as
+// its file interface (Fig. 1: LEF + DEF in, DEF + route guides out). The
+// subset covers exactly what the flow consumes — routing layers, vias,
+// sites and macro pins on the LEF side; die area, rows, components, IO pins,
+// blockages and nets on the DEF side — with the standard statement syntax,
+// so the files remain readable by LEF/DEF-aware tooling. Writer and reader
+// round-trip: Parse(Write(x)) reproduces x.
+package lefdef
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/grid"
+	"github.com/crp-eda/crp/internal/route/global"
+	"github.com/crp-eda/crp/internal/tech"
+)
+
+// WriteLEF emits the technology and the design's macro library.
+func WriteLEF(w io.Writer, t *tech.Tech, macros []*db.Macro) error {
+	ew := &errWriter{w: w}
+	dbu := float64(t.DBU)
+	um := func(v int) float64 { return float64(v) / dbu }
+
+	ew.printf("VERSION 5.8 ;\n")
+	ew.printf("BUSBITCHARS \"[]\" ;\n")
+	ew.printf("DIVIDERCHAR \"/\" ;\n")
+	ew.printf("UNITS\n  DATABASE MICRONS %d ;\nEND UNITS\n\n", t.DBU)
+
+	for _, l := range t.Layers {
+		dir := "HORIZONTAL"
+		if l.Dir == tech.Vertical {
+			dir = "VERTICAL"
+		}
+		ew.printf("LAYER %s\n", l.Name)
+		ew.printf("  TYPE ROUTING ;\n")
+		ew.printf("  DIRECTION %s ;\n", dir)
+		ew.printf("  PITCH %.4f ;\n", um(l.Pitch))
+		ew.printf("  WIDTH %.4f ;\n", um(l.Width))
+		ew.printf("  SPACING %.4f ;\n", um(l.Spacing))
+		ew.printf("  AREA %.6f ;\n", float64(l.MinArea)/(dbu*dbu))
+		ew.printf("  OFFSET %.4f ;\n", um(l.Offset))
+		ew.printf("END %s\n\n", l.Name)
+	}
+	for _, v := range t.Vias {
+		ew.printf("VIA %s DEFAULT\n", v.Name)
+		ew.printf("  LAYERBELOW %s ;\n", t.Layers[v.Below].Name)
+		ew.printf("  CUTSIZE %.4f ;\n", um(v.CutSize))
+		ew.printf("END %s\n\n", v.Name)
+	}
+	ew.printf("SITE %s\n  CLASS CORE ;\n  SIZE %.4f BY %.4f ;\nEND %s\n\n",
+		t.Site.Name, um(t.Site.Width), um(t.Site.Height), t.Site.Name)
+
+	for _, m := range macros {
+		ew.printf("MACRO %s\n", m.Name)
+		ew.printf("  CLASS CORE ;\n")
+		ew.printf("  SIZE %.4f BY %.4f ;\n", um(m.Width), um(m.Height))
+		ew.printf("  SITE %s ;\n", t.Site.Name)
+		for _, p := range m.Pins {
+			ew.printf("  PIN %s\n", p.Name)
+			ew.printf("    PORT\n")
+			ew.printf("      LAYER %s ;\n", t.Layers[p.Layer].Name)
+			ew.printf("      POINT %.4f %.4f ;\n", um(p.Offset.X), um(p.Offset.Y))
+			ew.printf("    END\n")
+			ew.printf("  END %s\n", p.Name)
+		}
+		ew.printf("END %s\n\n", m.Name)
+	}
+	ew.printf("END LIBRARY\n")
+	return ew.err
+}
+
+// WriteDEF emits the design: floorplan, placement and netlist.
+func WriteDEF(w io.Writer, d *db.Design) error {
+	ew := &errWriter{w: w}
+	t := d.Tech
+
+	ew.printf("VERSION 5.8 ;\n")
+	ew.printf("DESIGN %s ;\n", d.Name)
+	ew.printf("UNITS DISTANCE MICRONS %d ;\n\n", t.DBU)
+	ew.printf("DIEAREA ( %d %d ) ( %d %d ) ;\n\n", d.Die.Lo.X, d.Die.Lo.Y, d.Die.Hi.X, d.Die.Hi.Y)
+
+	for _, r := range d.Rows {
+		ew.printf("ROW row_%d %s %d %d %s DO %d BY 1 STEP %d 0 ;\n",
+			r.Index, t.Site.Name, r.X, r.Y, r.Orient, r.NumSites, t.Site.Width)
+	}
+	ew.printf("\nCOMPONENTS %d ;\n", len(d.Cells))
+	for _, c := range d.Cells {
+		status := "PLACED"
+		if c.Fixed {
+			status = "FIXED"
+		}
+		ew.printf("- %s %s + %s ( %d %d ) %s ;\n", c.Name, c.Macro.Name, status, c.Pos.X, c.Pos.Y, c.Orient)
+	}
+	ew.printf("END COMPONENTS\n\n")
+
+	nIOs := 0
+	for _, n := range d.Nets {
+		nIOs += len(n.IOs)
+	}
+	ew.printf("PINS %d ;\n", nIOs)
+	for _, n := range d.Nets {
+		for _, io := range n.IOs {
+			ew.printf("- %s + NET %s + LAYER %s + PLACED ( %d %d ) ;\n",
+				io.Name, n.Name, t.Layers[io.Layer].Name, io.Pos.X, io.Pos.Y)
+		}
+	}
+	ew.printf("END PINS\n\n")
+
+	ew.printf("BLOCKAGES %d ;\n", len(d.Obs))
+	for _, o := range d.Obs {
+		ew.printf("- %s LAYERS", o.Name)
+		for _, l := range o.Layers {
+			ew.printf(" %s", t.Layers[l].Name)
+		}
+		ew.printf(" RECT ( %d %d ) ( %d %d ) ;\n", o.Rect.Lo.X, o.Rect.Lo.Y, o.Rect.Hi.X, o.Rect.Hi.Y)
+	}
+	ew.printf("END BLOCKAGES\n\n")
+
+	ew.printf("NETS %d ;\n", len(d.Nets))
+	for _, n := range d.Nets {
+		ew.printf("- %s", n.Name)
+		for _, pr := range n.Pins {
+			c := d.Cells[pr.Cell]
+			ew.printf(" ( %s %s )", c.Name, c.Macro.Pins[pr.Pin].Name)
+		}
+		for _, io := range n.IOs {
+			ew.printf(" ( PIN %s )", io.Name)
+		}
+		ew.printf(" ;\n")
+	}
+	ew.printf("END NETS\n\n")
+	ew.printf("END DESIGN\n")
+	return ew.err
+}
+
+// WriteGuides emits the route-guide file handed to the detailed router in
+// the ISPD-2018 guide format: for each net, one DBU box per GCell edge its
+// route occupies, tagged with the layer name.
+func WriteGuides(w io.Writer, d *db.Design, g *grid.Grid, routes []*global.Route) error {
+	ew := &errWriter{w: w}
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		n := d.Nets[rt.NetID]
+		ew.printf("%s\n(\n", n.Name)
+		for _, wire := range rt.Wires {
+			a := g.GCellRect(wire.X, wire.Y)
+			var b geom.Rect
+			if d.Tech.Layer(wire.L).Dir == tech.Horizontal {
+				b = g.GCellRect(wire.X+1, wire.Y)
+			} else {
+				b = g.GCellRect(wire.X, wire.Y+1)
+			}
+			u := a.Union(b)
+			ew.printf("%d %d %d %d %s\n", u.Lo.X, u.Lo.Y, u.Hi.X, u.Hi.Y, d.Tech.Layer(wire.L).Name)
+		}
+		for _, v := range rt.Vias {
+			r := g.GCellRect(v.X, v.Y)
+			ew.printf("%d %d %d %d %s\n", r.Lo.X, r.Lo.Y, r.Hi.X, r.Hi.Y, d.Tech.Layer(v.L).Name)
+			ew.printf("%d %d %d %d %s\n", r.Lo.X, r.Lo.Y, r.Hi.X, r.Hi.Y, d.Tech.Layer(v.L+1).Name)
+		}
+		ew.printf(")\n")
+	}
+	return ew.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,335 @@
+// Package legal implements the paper's ILP-based legalizer (Section IV.B.2,
+// Eq. 11). Given a critical cell, it examines a local window of N_site
+// sites by N_row rows around the cell and produces a set of *legal*
+// placement candidates: target positions for the critical cell, each paired
+// with the relocations of the conflict cells that must shift to make room.
+// Every candidate is guaranteed overlap-free, on-site, and on-row, so
+// CR&P's selection ILP can commit any of them directly and hand the result
+// to a detailed router — the property the paper's framework depends on.
+//
+// For each candidate target slot the displaced cells' new positions are
+// chosen by a small 0/1 ILP (internal/ilp) minimising Eq. 11's weighted
+// displacement toward each cell's median position:
+//
+//	cost_c^(i,j) = W_site·|X − X_med| + H_row·|Y − Y_med|
+package legal
+
+import (
+	"sort"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/ilp"
+)
+
+// Config sets the window geometry and search effort. The paper uses
+// NSites=20, NRows=5 and at most 3 cells per legalizer execution.
+type Config struct {
+	NSites        int // window width in sites
+	NRows         int // window height in rows
+	MaxCells      int // cells per ILP execution (critical + conflicts)
+	MaxCandidates int // cap on returned candidates per critical cell
+	// MaxSlotsPerConflict caps each conflict cell's relocation domain to
+	// its cheapest slots; 0 means unlimited. Eq. 11 minimises
+	// displacement, so distant slots never win — the cap only trims the
+	// ILP.
+	MaxSlotsPerConflict int
+}
+
+// DefaultConfig returns the paper's experimental values.
+func DefaultConfig() Config {
+	return Config{NSites: 20, NRows: 5, MaxCells: 3, MaxCandidates: 8, MaxSlotsPerConflict: 12}
+}
+
+// Candidate is one legal placement option for a critical cell.
+type Candidate struct {
+	// Pos is the critical cell's target position (lower-left, DBU).
+	Pos geom.Point
+	// Conflicts maps displaced conflict cells to their new legal
+	// positions; empty when the target slot was already free.
+	Conflicts map[int32]geom.Point
+	// Displacement is the Eq. 11 objective: the summed weighted
+	// displacement of the critical cell and conflict cells from their
+	// median positions.
+	Displacement float64
+}
+
+// Legalizer generates candidates against a design.
+type Legalizer struct {
+	D   *db.Design
+	Cfg Config
+}
+
+// New creates a legalizer. Zero Config fields fall back to defaults.
+func New(d *db.Design, cfg Config) *Legalizer {
+	def := DefaultConfig()
+	if cfg.NSites <= 0 {
+		cfg.NSites = def.NSites
+	}
+	if cfg.NRows <= 0 {
+		cfg.NRows = def.NRows
+	}
+	if cfg.MaxCells <= 0 {
+		cfg.MaxCells = def.MaxCells
+	}
+	if cfg.MaxCandidates <= 0 {
+		cfg.MaxCandidates = def.MaxCandidates
+	}
+	if cfg.MaxSlotsPerConflict <= 0 {
+		cfg.MaxSlotsPerConflict = def.MaxSlotsPerConflict
+	}
+	return &Legalizer{D: d, Cfg: cfg}
+}
+
+// window is the site/row extent the legalizer works in.
+type window struct {
+	rows   []int32 // row indices, ascending
+	x0, x1 int     // DBU interval of the window's sites
+}
+
+// windowAround centres the window on the cell, clipping at the die.
+func (l *Legalizer) windowAround(c *db.Cell) window {
+	d := l.D
+	sw := d.Tech.Site.Width
+	halfW := l.Cfg.NSites * sw / 2
+	x0 := geom.SnapDown(c.Pos.X-halfW, sw)
+	x1 := x0 + l.Cfg.NSites*sw
+	if x0 < d.Die.Lo.X {
+		x0 = d.Die.Lo.X
+		x1 = x0 + l.Cfg.NSites*sw
+	}
+	if x1 > d.Die.Hi.X {
+		x1 = d.Die.Hi.X
+		x0 = x1 - l.Cfg.NSites*sw
+		if x0 < d.Die.Lo.X {
+			x0 = d.Die.Lo.X
+		}
+	}
+	r0 := int(c.Row) - l.Cfg.NRows/2
+	r1 := r0 + l.Cfg.NRows
+	if r0 < 0 {
+		r0 = 0
+		r1 = min(l.Cfg.NRows, len(d.Rows))
+	}
+	if r1 > len(d.Rows) {
+		r1 = len(d.Rows)
+		r0 = max(0, r1-l.Cfg.NRows)
+	}
+	w := window{x0: x0, x1: x1}
+	for r := r0; r < r1; r++ {
+		w.rows = append(w.rows, int32(r))
+	}
+	return w
+}
+
+// Run generates legal candidates for the critical cell. The current
+// position is not included (CR&P's Algorithm 2 adds it separately); every
+// returned candidate differs from the cell's current position. Candidates
+// are sorted by ascending displacement.
+func (l *Legalizer) Run(cellID int32) []Candidate {
+	d := l.D
+	c := d.Cells[cellID]
+	if c.Fixed {
+		return nil
+	}
+	w := l.windowAround(c)
+	med := d.NetMedianOf(cellID)
+	sw := d.Tech.Site.Width
+
+	// Enumerate target slots for the critical cell: every site-aligned
+	// position in the window where the cell fits inside the row span,
+	// ranked by the critical cell's own Eq. 11 displacement.
+	type slot struct {
+		pos  geom.Point
+		cost float64
+	}
+	var slots []slot
+	for _, ri := range w.rows {
+		row := &d.Rows[ri]
+		span := row.Span(sw)
+		lo := max(w.x0, span.Lo)
+		hi := min(w.x1, span.Hi)
+		for x := geom.SnapUp(lo-row.X, sw) + row.X; x+c.Macro.Width <= hi; x += sw {
+			pos := geom.Pt(x, row.Y)
+			if pos == c.Pos {
+				continue
+			}
+			if d.CheckLegal(c, pos) != nil {
+				continue // obstacle or die clipping
+			}
+			slots = append(slots, slot{pos, l.displacement(pos, med)})
+		}
+	}
+	sort.Slice(slots, func(a, b int) bool {
+		if slots[a].cost != slots[b].cost {
+			return slots[a].cost < slots[b].cost
+		}
+		if slots[a].pos.Y != slots[b].pos.Y {
+			return slots[a].pos.Y < slots[b].pos.Y
+		}
+		return slots[a].pos.X < slots[b].pos.X
+	})
+
+	var out []Candidate
+	for _, s := range slots {
+		if len(out) >= l.Cfg.MaxCandidates {
+			break
+		}
+		cand, ok := l.trySlot(c, s.pos, w, med)
+		if ok {
+			out = append(out, cand)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Displacement < out[b].Displacement })
+	return out
+}
+
+// displacement is Eq. 11's cost of a position: the L1 distance from the
+// median in DBU. Because positions are site- and row-aligned this equals
+// W_site·|Δsite| + H_row·|Δrow|, the exact form printed in the paper.
+func (l *Legalizer) displacement(pos, med geom.Point) float64 {
+	return float64(geom.Abs(pos.X-med.X) + geom.Abs(pos.Y-med.Y))
+}
+
+// tryslot checks whether the critical cell can take pos. If cells are in
+// the way, the conflict cells (at most MaxCells-1) are relocated inside the
+// window by the ILP; failure to relocate rejects the slot.
+func (l *Legalizer) trySlot(c *db.Cell, pos geom.Point, w window, med geom.Point) (Candidate, bool) {
+	d := l.D
+	row, _ := d.RowAt(pos.Y)
+	span := geom.Iv(pos.X, pos.X+c.Macro.Width)
+
+	// Conflict cells: movable cells overlapping the target span (other
+	// than the critical cell itself).
+	var conflicts []*db.Cell
+	for _, id := range d.CellsInRowRange(row.Index, span.Lo, span.Hi) {
+		if id == c.ID {
+			continue
+		}
+		cc := d.Cells[id]
+		if cc.Fixed {
+			return Candidate{}, false // cannot displace fixed cells
+		}
+		conflicts = append(conflicts, cc)
+	}
+	if len(conflicts) > l.Cfg.MaxCells-1 {
+		return Candidate{}, false // paper caps the execution at |cells|=3
+	}
+	if len(conflicts) == 0 {
+		return Candidate{
+			Pos:          pos,
+			Conflicts:    map[int32]geom.Point{},
+			Displacement: l.displacement(pos, med),
+		}, true
+	}
+
+	moves, cost, ok := l.relocateConflicts(c, pos, conflicts, w)
+	if !ok {
+		return Candidate{}, false
+	}
+	return Candidate{
+		Pos:          pos,
+		Conflicts:    moves,
+		Displacement: l.displacement(pos, med) + cost,
+	}, true
+}
+
+// relocateConflicts builds and solves the Eq. 11 ILP for the conflict
+// cells: each must take exactly one free slot in the window, slots must not
+// overlap each other or the critical cell's target, and the objective is
+// the summed displacement toward each conflict cell's median.
+func (l *Legalizer) relocateConflicts(c *db.Cell, pos geom.Point, conflicts []*db.Cell, w window) (map[int32]geom.Point, float64, bool) {
+	d := l.D
+	sw := d.Tech.Site.Width
+	ignore := map[int32]bool{c.ID: true}
+	for _, cc := range conflicts {
+		ignore[cc.ID] = true
+	}
+	targetRow, _ := d.RowAt(pos.Y)
+	targetSpan := geom.Iv(pos.X, pos.X+c.Macro.Width)
+
+	m := ilp.NewModel()
+	type varPos struct {
+		cell int32
+		pos  geom.Point
+	}
+	var vars []varPos
+	// siteUse[(row,siteX)] collects the variables covering each site.
+	siteUse := map[[2]int][]ilp.Term{}
+
+	for _, cc := range conflicts {
+		med := d.NetMedianOf(cc.ID)
+		// Collect the feasible slots, keep only the cheapest few: the ILP
+		// never benefits from far-away relocations (Eq. 11 minimises
+		// displacement), and the cap keeps the model tiny.
+		type slotCost struct {
+			p    geom.Point
+			cost float64
+		}
+		var slots []slotCost
+		for _, ri := range w.rows {
+			row := &d.Rows[ri]
+			for _, x := range d.FreeSitesIn(ri, w.x0, w.x1, cc.Macro.Width, ignore) {
+				p := geom.Pt(x, row.Y)
+				// Slots overlapping the critical cell's target are gone.
+				if row.Index == targetRow.Index && geom.Iv(x, x+cc.Macro.Width).Overlaps(targetSpan) {
+					continue
+				}
+				slots = append(slots, slotCost{p, l.displacement(p, med)})
+			}
+		}
+		if len(slots) == 0 {
+			return nil, 0, false // nowhere to put this conflict cell
+		}
+		sort.Slice(slots, func(a, b int) bool {
+			if slots[a].cost != slots[b].cost {
+				return slots[a].cost < slots[b].cost
+			}
+			if slots[a].p.Y != slots[b].p.Y {
+				return slots[a].p.Y < slots[b].p.Y
+			}
+			return slots[a].p.X < slots[b].p.X
+		})
+		if cap := l.Cfg.MaxSlotsPerConflict; cap > 0 && len(slots) > cap {
+			slots = slots[:cap]
+		}
+		var terms []ilp.Term
+		for _, s := range slots {
+			v := m.AddBinary("", s.cost)
+			vars = append(vars, varPos{cc.ID, s.p})
+			terms = append(terms, ilp.Term{Var: v, Coef: 1})
+			row, _ := d.RowAt(s.p.Y)
+			for x := s.p.X; x < s.p.X+cc.Macro.Width; x += sw {
+				key := [2]int{int(row.Index), x}
+				siteUse[key] = append(siteUse[key], ilp.Term{Var: v, Coef: 1})
+			}
+		}
+		m.AddConstraint("one-pos", terms, ilp.EQ, 1)
+	}
+	for _, terms := range siteUse {
+		if len(terms) > 1 {
+			m.AddConstraint("site-cap", terms, ilp.LE, 1)
+		}
+	}
+	sol := m.Solve(ilp.Options{})
+	if sol.Status != ilp.Optimal {
+		return nil, 0, false
+	}
+	moves := make(map[int32]geom.Point, len(conflicts))
+	for i, vp := range vars {
+		if sol.Values[i] == 1 {
+			moves[vp.cell] = vp.pos
+		}
+	}
+	return moves, sol.Objective, true
+}
+
+// Apply commits a candidate: the critical cell and its conflict cells move
+// atomically. The design stays legal or the call fails without changes.
+func (l *Legalizer) Apply(cellID int32, cand Candidate) error {
+	moves := map[int32]geom.Point{cellID: cand.Pos}
+	for id, p := range cand.Conflicts {
+		moves[id] = p
+	}
+	return l.D.MoveCells(moves)
+}

@@ -1,0 +1,360 @@
+// Package place is a detailed placer: it refines an existing legal
+// placement for wirelength without changing the netlist, using the three
+// classic techniques the detailed-placement literature the paper surveys is
+// built on (FastPlace, AbcdPlace et al.):
+//
+//   - greedy median moves — relocate a cell to the free slot nearest the
+//     median of its connected pins when that reduces its star wirelength;
+//   - global swaps — exchange two equal-width cells when the swap reduces
+//     their combined wirelength;
+//   - local reordering — optimally permute small groups of adjacent cells
+//     within a row.
+//
+// The CR&P paper assumes "an initial placement solution is given" by a
+// production placer; this package is what makes the synthetic benchmarks
+// (internal/ispd) resemble such inputs, and it doubles as the repository's
+// standalone detailed-placement engine. Every pass preserves legality: a
+// placement that validates before a pass validates after it.
+package place
+
+import (
+	"math/rand"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/geom"
+)
+
+// Config tunes the refinement.
+type Config struct {
+	// Passes is the number of full sweeps over all cells (default 2).
+	Passes int
+	// WindowSites/WindowRows bound the median-move slot search.
+	WindowSites int
+	WindowRows  int
+	// EnableSwaps turns on the global-swap pass.
+	EnableSwaps bool
+	// EnableReorder turns on the local reordering pass.
+	EnableReorder bool
+	// ReorderSpan is the group size for local reordering (3 or 4; larger
+	// spans explode factorially).
+	ReorderSpan int
+	// Seed drives the per-pass cell ordering.
+	Seed int64
+}
+
+// DefaultConfig returns a balanced refinement setup.
+func DefaultConfig() Config {
+	return Config{
+		Passes:        2,
+		WindowSites:   24,
+		WindowRows:    5,
+		EnableSwaps:   true,
+		EnableReorder: true,
+		ReorderSpan:   3,
+		Seed:          1,
+	}
+}
+
+// Stats reports what a Refine call did.
+type Stats struct {
+	MedianMoves int
+	Swaps       int
+	Reorders    int
+	HPWLBefore  int64
+	HPWLAfter   int64
+}
+
+// Refine runs the configured passes over the design.
+func Refine(d *db.Design, cfg Config) Stats {
+	def := DefaultConfig()
+	if cfg.Passes <= 0 {
+		cfg.Passes = def.Passes
+	}
+	if cfg.WindowSites <= 0 {
+		cfg.WindowSites = def.WindowSites
+	}
+	if cfg.WindowRows <= 0 {
+		cfg.WindowRows = def.WindowRows
+	}
+	if cfg.ReorderSpan < 2 {
+		cfg.ReorderSpan = def.ReorderSpan
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	st := Stats{HPWLBefore: d.TotalHPWL()}
+	order := movableCells(d)
+	for pass := 0; pass < cfg.Passes; pass++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		st.MedianMoves += medianMovePass(d, order, cfg)
+		if cfg.EnableSwaps {
+			st.Swaps += swapPass(d, order)
+		}
+		if cfg.EnableReorder {
+			st.Reorders += reorderPass(d, cfg.ReorderSpan)
+		}
+	}
+	st.HPWLAfter = d.TotalHPWL()
+	return st
+}
+
+func movableCells(d *db.Design) []int32 {
+	out := make([]int32, 0, len(d.Cells))
+	for _, c := range d.Cells {
+		if !c.Fixed && len(c.Nets) > 0 {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// starWL is the cell-centric wirelength of all nets touching the cell with
+// the cell hypothetically at pos: the objective of median moves and swaps.
+func starWL(d *db.Design, id int32, pos geom.Point) int64 {
+	var total int64
+	c := d.Cells[id]
+	orient := c.Orient
+	if row, ok := d.RowAt(pos.Y); ok {
+		orient = row.Orient
+	}
+	for _, nid := range c.Nets {
+		n := d.Nets[nid]
+		minX, maxX := 1<<30, -(1 << 30)
+		minY, maxY := 1<<30, -(1 << 30)
+		for _, pr := range n.Pins {
+			var p geom.Point
+			if pr.Cell == id {
+				p = d.PinPositionAt(c, pr.Pin, pos, orient)
+			} else {
+				p = d.PinPosition(d.Cells[pr.Cell], pr.Pin)
+			}
+			minX, maxX = min(minX, p.X), max(maxX, p.X)
+			minY, maxY = min(minY, p.Y), max(maxY, p.Y)
+		}
+		for _, io := range n.IOs {
+			minX, maxX = min(minX, io.Pos.X), max(maxX, io.Pos.X)
+			minY, maxY = min(minY, io.Pos.Y), max(maxY, io.Pos.Y)
+		}
+		total += int64(maxX-minX) + int64(maxY-minY)
+	}
+	return total
+}
+
+// medianMovePass relocates each cell toward its net median when profitable.
+func medianMovePass(d *db.Design, order []int32, cfg Config) int {
+	sw := d.Tech.Site.Width
+	rh := d.Tech.Site.Height
+	moves := 0
+	for _, id := range order {
+		c := d.Cells[id]
+		med := d.NetMedianOf(id)
+		cur := starWL(d, id, c.Pos)
+		bestPos := c.Pos
+		bestWL := cur
+		ignore := map[int32]bool{id: true}
+		r0 := max(0, (med.Y-d.Die.Lo.Y)/rh-cfg.WindowRows/2)
+		r1 := min(len(d.Rows), r0+cfg.WindowRows)
+		for ri := r0; ri < r1; ri++ {
+			row := &d.Rows[ri]
+			x0 := med.X - cfg.WindowSites*sw/2
+			x1 := med.X + cfg.WindowSites*sw/2
+			for _, x := range d.FreeSitesIn(int32(ri), x0, x1, c.Macro.Width, ignore) {
+				pos := geom.Pt(x, row.Y)
+				if pos == c.Pos || d.CheckLegal(c, pos) != nil {
+					continue
+				}
+				if wl := starWL(d, id, pos); wl < bestWL {
+					bestWL = wl
+					bestPos = pos
+				}
+			}
+		}
+		if bestPos != c.Pos && d.MoveCell(id, bestPos) == nil {
+			moves++
+		}
+	}
+	return moves
+}
+
+// swapPass tries exchanging each cell with the equal-width cell nearest its
+// median; accepted when the summed star wirelength of both cells drops.
+// Star wirelength double-counts shared nets identically before and after,
+// so the acceptance test is conservative but sign-correct.
+func swapPass(d *db.Design, order []int32) int {
+	swaps := 0
+	for _, id := range order {
+		a := d.Cells[id]
+		med := d.NetMedianOf(id)
+		partner := nearestEqualWidthCell(d, a, med)
+		if partner < 0 {
+			continue
+		}
+		b := d.Cells[partner]
+		before := starWL(d, a.ID, a.Pos) + starWL(d, b.ID, b.Pos)
+		after := starWL(d, a.ID, b.Pos) + starWL(d, b.ID, a.Pos)
+		if after >= before {
+			continue
+		}
+		if d.MoveCells(map[int32]geom.Point{a.ID: b.Pos, b.ID: a.Pos}) == nil {
+			swaps++
+		}
+	}
+	return swaps
+}
+
+// nearestEqualWidthCell finds the movable same-width cell whose position is
+// closest to target (and is not the cell itself).
+func nearestEqualWidthCell(d *db.Design, c *db.Cell, target geom.Point) int32 {
+	rh := d.Tech.Site.Height
+	bestID := int32(-1)
+	bestDist := 1 << 30
+	// Scan the rows nearest the target first; stop once a full row is
+	// farther than the best hit.
+	row0 := geom.Iv(0, len(d.Rows)).Clamp((target.Y - d.Die.Lo.Y) / rh)
+	for dr := 0; dr < len(d.Rows); dr++ {
+		for _, sign := range []int{1, -1} {
+			ri := row0 + sign*dr
+			if dr == 0 && sign < 0 {
+				continue
+			}
+			if ri < 0 || ri >= len(d.Rows) {
+				continue
+			}
+			rowDist := geom.Abs(ri*rh - target.Y)
+			if rowDist > bestDist {
+				continue
+			}
+			for _, id := range d.CellsInRowRange(int32(ri), target.X-bestDist, target.X+bestDist) {
+				cc := d.Cells[id]
+				if cc.ID == c.ID || cc.Fixed || cc.Macro.Width != c.Macro.Width {
+					continue
+				}
+				dist := cc.Pos.ManhattanDist(target)
+				if dist < bestDist {
+					bestDist = dist
+					bestID = cc.ID
+				}
+			}
+		}
+		if dr*rh > bestDist {
+			break
+		}
+	}
+	return bestID
+}
+
+// reorderPass slides a window of ReorderSpan adjacent cells along every row
+// and keeps the best permutation of their left-to-right order (cells keep
+// the same set of slots; widths may differ, so positions are re-packed from
+// the left edge of the group's span).
+func reorderPass(d *db.Design, span int) int {
+	improved := 0
+	perms := permutations(span)
+	for ri := range d.Rows {
+		ids := rowCellsLeftToRight(d, int32(ri))
+		for start := 0; start+span <= len(ids); start++ {
+			group := ids[start : start+span]
+			if anyFixed(d, group) || !contiguousSpan(d, group) {
+				continue
+			}
+			if tryReorder(d, group, perms) {
+				improved++
+			}
+		}
+	}
+	return improved
+}
+
+func rowCellsLeftToRight(d *db.Design, row int32) []int32 {
+	span := d.Rows[row].Span(d.Tech.Site.Width)
+	return d.CellsInRowRange(row, span.Lo, span.Hi)
+}
+
+func anyFixed(d *db.Design, ids []int32) bool {
+	for _, id := range ids {
+		if d.Cells[id].Fixed {
+			return true
+		}
+	}
+	return false
+}
+
+// contiguousSpan reports whether the cells are packed back to back (no
+// gaps); reordering across gaps would need a more general packing.
+func contiguousSpan(d *db.Design, ids []int32) bool {
+	for i := 1; i < len(ids); i++ {
+		prev := d.Cells[ids[i-1]]
+		if prev.Pos.X+prev.Macro.Width != d.Cells[ids[i]].Pos.X {
+			return false
+		}
+	}
+	return true
+}
+
+// tryReorder evaluates every permutation of the group and commits the best
+// strictly-improving one.
+func tryReorder(d *db.Design, group []int32, perms [][]int) bool {
+	base := d.Cells[group[0]].Pos
+	cost := func(ord []int) int64 {
+		x := base.X
+		var total int64
+		for _, gi := range ord {
+			c := d.Cells[group[gi]]
+			total += starWL(d, c.ID, geom.Pt(x, base.Y))
+			x += c.Macro.Width
+		}
+		return total
+	}
+	bestPerm := perms[0] // identity
+	bestCost := cost(bestPerm)
+	for _, p := range perms[1:] {
+		if c := cost(p); c < bestCost {
+			bestCost = c
+			bestPerm = p
+		}
+	}
+	if isIdentity(bestPerm) {
+		return false
+	}
+	moves := map[int32]geom.Point{}
+	x := base.X
+	for _, gi := range bestPerm {
+		c := d.Cells[group[gi]]
+		moves[c.ID] = geom.Pt(x, base.Y)
+		x += c.Macro.Width
+	}
+	return d.MoveCells(moves) == nil
+}
+
+func isIdentity(p []int) bool {
+	for i, v := range p {
+		if i != v {
+			return false
+		}
+	}
+	return true
+}
+
+// permutations enumerates all orderings of 0..n-1 with the identity first.
+func permutations(n int) [][]int {
+	var out [][]int
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := k; i < n; i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			rec(k + 1)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	rec(0)
+	// Move the identity to the front (rec emits it first already since it
+	// swaps in place starting with no swap).
+	return out
+}

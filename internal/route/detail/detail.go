@@ -1,0 +1,371 @@
+// Package detail is the TritonRoute-substitute detailed router. It consumes
+// the global router's per-net GCell routes as guides and realises them on
+// the real track grid:
+//
+//   - every maximal straight run of guide edges becomes a wire segment that
+//     must be packed onto one of the panel's tracks (left-edge interval
+//     packing with the layer's spacing rule);
+//   - panels whose track demand is exceeded push segments into neighbouring
+//     panels at a detour cost, and segments that still cannot be placed
+//     become design-rule violations (shorts or spacing, depending on how
+//     hard the overlap is);
+//   - sub-minimum-area segments are extended before packing; when the
+//     extension itself cannot be placed the segment reports a min-area
+//     violation;
+//   - vias are materialised one-for-one from the guide's via edges, and
+//     every pin contributes its access stub.
+//
+// The output is exactly the detailed-routing metric set the paper's Table
+// III evaluates: wirelength, via count, and DRVs. Because packing failures
+// happen precisely where global congestion exceeds track supply, better
+// global solutions (what CR&P optimises) translate into fewer detours,
+// vias, and DRVs here — the same coupling TritonRoute exhibits.
+package detail
+
+import (
+	"sort"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/grid"
+	"github.com/crp-eda/crp/internal/route/global"
+	"github.com/crp-eda/crp/internal/tech"
+)
+
+// Config tunes the detailed router.
+type Config struct {
+	// MaxPanelHops is how many neighbouring panels a segment may detour
+	// into before it is declared unplaceable.
+	MaxPanelHops int
+	// FixIterations is the number of re-packing passes over violating
+	// panels (longest-first reordering) before violations are final.
+	FixIterations int
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{MaxPanelHops: 2, FixIterations: 2}
+}
+
+// DRVCounts breaks down design-rule violations by type, mirroring the
+// ISPD-2018 evaluator categories the paper reports.
+type DRVCounts struct {
+	Shorts  int
+	Spacing int
+	MinArea int
+	Opens   int
+}
+
+// Total returns the summed violation count.
+func (d DRVCounts) Total() int { return d.Shorts + d.Spacing + d.MinArea + d.Opens }
+
+// Result is the detailed-routing outcome for a design.
+type Result struct {
+	WirelengthDBU int64
+	Vias          int64
+	DRVs          DRVCounts
+	Segments      int
+	Detours       int // segments placed in a neighbouring panel
+
+	// NetWL and NetVias attribute wirelength and vias per net (indexed by
+	// net ID), feeding the evaluator's worst-net report.
+	NetWL   []int64
+	NetVias []int64
+}
+
+// segment is one wire interval to pack onto a track.
+type segment struct {
+	net      int32
+	layer    int
+	panel    int // GCell row (H layers) or column (V layers)
+	lo, hi   int // DBU along the panel
+	extended bool
+	hops     int
+}
+
+// Route realises the committed global routes on the track grid and returns
+// the detailed metrics.
+func Route(d *db.Design, g *grid.Grid, routes []*global.Route, cfg Config) *Result {
+	if cfg.MaxPanelHops < 0 {
+		cfg.MaxPanelHops = 0
+	}
+	if cfg.FixIterations < 1 {
+		cfg.FixIterations = 1
+	}
+	res := &Result{
+		NetWL:   make([]int64, len(d.Nets)),
+		NetVias: make([]int64, len(d.Nets)),
+	}
+	addWL := func(net int32, wl int64) {
+		res.WirelengthDBU += wl
+		res.NetWL[net] += wl
+	}
+
+	// Opens: a spanning net with no route can never be realised.
+	for _, n := range d.Nets {
+		if n.Degree() < 2 {
+			continue
+		}
+		if routes[n.ID] == nil && spansGCells(d, g, n) {
+			res.DRVs.Opens++
+		}
+	}
+
+	segs := extractSegments(d, g, routes, &res.Vias, res.NetVias)
+	res.Segments = len(segs)
+
+	// Pin access stubs: from each pin to its GCell center, approximating
+	// the in-cell escape routing; charged once per pin.
+	for _, n := range d.Nets {
+		for _, pr := range n.Pins {
+			p := d.PinPosition(d.Cells[pr.Cell], pr.Pin)
+			x, y := g.GCellOf(p)
+			addWL(n.ID, int64(p.ManhattanDist(g.Center(x, y))))
+		}
+		for _, io := range n.IOs {
+			x, y := g.GCellOf(io.Pos)
+			addWL(n.ID, int64(io.Pos.ManhattanDist(g.Center(x, y))))
+		}
+	}
+
+	// Pack per (layer, panel). Panels are swept in increasing index order
+	// per layer and overflow only pushes forward (+1), so a segment always
+	// lands in a panel that has not been packed yet.
+	byPanel := map[[2]int][]*segment{}
+	for i := range segs {
+		s := &segs[i]
+		byPanel[[2]int{s.layer, s.panel}] = append(byPanel[[2]int{s.layer, s.panel}], s)
+	}
+	for layer := 1; layer < g.NL; layer++ {
+		nPanels := g.NY
+		if g.Tech.Layer(layer).Dir == tech.Vertical {
+			nPanels = g.NX
+		}
+		for panel := 0; panel < nPanels; panel++ {
+			pending := byPanel[[2]int{layer, panel}]
+			if len(pending) == 0 {
+				continue
+			}
+			overflow := packPanel(d, g, layer, panel, pending, cfg, res)
+			for _, s := range overflow {
+				s.hops++
+				if s.hops > cfg.MaxPanelHops || !panelExists(g, layer, s.panel+1) {
+					classifyViolation(d, g, s, res)
+					continue
+				}
+				s.panel++
+				res.Detours++
+				addWL(s.net, 2*int64(panelPitchDBU(g, layer)))
+				nk := [2]int{layer, s.panel}
+				byPanel[nk] = append(byPanel[nk], s)
+			}
+		}
+	}
+	return res
+}
+
+// spansGCells reports whether the net's pins occupy more than one GCell.
+func spansGCells(d *db.Design, g *grid.Grid, n *db.Net) bool {
+	pts := d.NetPinPositions(n)
+	if len(pts) < 2 {
+		return false
+	}
+	x0, y0 := g.GCellOf(pts[0])
+	for _, p := range pts[1:] {
+		x, y := g.GCellOf(p)
+		if x != x0 || y != y0 {
+			return true
+		}
+	}
+	return false
+}
+
+// extractSegments converts each route into straight wire segments and
+// counts its vias.
+func extractSegments(d *db.Design, g *grid.Grid, routes []*global.Route, vias *int64, netVias []int64) []segment {
+	var segs []segment
+	for _, rt := range routes {
+		if rt == nil {
+			continue
+		}
+		*vias += int64(len(rt.Vias))
+		if netVias != nil {
+			netVias[rt.NetID] += int64(len(rt.Vias))
+		}
+		// Group wire edges by (layer, panel), then merge contiguous runs.
+		type key struct{ l, panel int }
+		groups := map[key][]int{}
+		for _, w := range rt.Wires {
+			if g.Tech.Layer(w.L).Dir == tech.Horizontal {
+				groups[key{w.L, w.Y}] = append(groups[key{w.L, w.Y}], w.X)
+			} else {
+				groups[key{w.L, w.X}] = append(groups[key{w.L, w.X}], w.Y)
+			}
+		}
+		for k, xs := range groups {
+			sort.Ints(xs)
+			runStart := xs[0]
+			prev := xs[0]
+			flush := func(a, b int) {
+				lo, hi := segmentSpan(g, k.l, k.panel, a, b)
+				segs = append(segs, segment{net: rt.NetID, layer: k.l, panel: k.panel, lo: lo, hi: hi})
+			}
+			for _, x := range xs[1:] {
+				if x == prev {
+					continue
+				}
+				if x != prev+1 {
+					flush(runStart, prev)
+					runStart = x
+				}
+				prev = x
+			}
+			flush(runStart, prev)
+		}
+	}
+	return segs
+}
+
+// segmentSpan converts a run of guide edges [a..b] (leaving-GCell indices)
+// into a DBU interval between the centers of the first and last GCells.
+func segmentSpan(g *grid.Grid, layer, panel, a, b int) (int, int) {
+	if g.Tech.Layer(layer).Dir == tech.Horizontal {
+		return g.Center(a, panel).X, g.Center(b+1, panel).X
+	}
+	return g.Center(panel, a).Y, g.Center(panel, b+1).Y
+}
+
+func panelExists(g *grid.Grid, layer, panel int) bool {
+	if g.Tech.Layer(layer).Dir == tech.Horizontal {
+		return panel >= 0 && panel < g.NY
+	}
+	return panel >= 0 && panel < g.NX
+}
+
+// panelPitchDBU is the detour distance for hopping one panel.
+func panelPitchDBU(g *grid.Grid, layer int) int {
+	if g.Tech.Layer(layer).Dir == tech.Horizontal {
+		return g.CellH
+	}
+	return g.CellW
+}
+
+// trackCount returns the number of usable tracks in a panel on layer.
+func trackCount(g *grid.Grid, layer int) int {
+	l := g.Tech.Layer(layer)
+	if layer == 0 {
+		return 0 // metal1 is pin-only in this flow
+	}
+	if l.Dir == tech.Horizontal {
+		return g.CellH / l.Pitch
+	}
+	return g.CellW / l.Pitch
+}
+
+// packPanel assigns the panel's segments to tracks with the left-edge
+// algorithm (sorted by interval start, first-fit). Sub-min-area segments
+// are extended first. It accumulates wirelength for placed segments and
+// returns those that could not be placed. FixIterations > 1 retries failed
+// packs with longest-first ordering, which unsticks panels where a short
+// segment landed on the track a long one needed.
+func packPanel(d *db.Design, g *grid.Grid, layer, panel int, pending []*segment, cfg Config, res *Result) []*segment {
+	if len(pending) == 0 {
+		return nil
+	}
+	l := g.Tech.Layer(layer)
+	// Min-area extension.
+	for _, s := range pending {
+		if int64(s.hi-s.lo)*int64(l.Width) < int64(l.MinArea) {
+			need := int(int64(l.MinArea)/int64(l.Width)) - (s.hi - s.lo)
+			s.hi += need
+			s.extended = true
+		}
+	}
+	nTracks := trackCount(g, layer)
+
+	tryPack := func(order []*segment) ([]*segment, [][]geom.Interval) {
+		tracks := make([][]geom.Interval, nTracks)
+		var failed []*segment
+		for _, s := range order {
+			placed := false
+			for t := 0; t < nTracks && !placed; t++ {
+				if fits(tracks[t], s.lo, s.hi, l.Spacing) {
+					tracks[t] = insertIv(tracks[t], geom.Interval{Lo: s.lo, Hi: s.hi})
+					placed = true
+				}
+			}
+			if !placed {
+				failed = append(failed, s)
+			}
+		}
+		return failed, tracks
+	}
+
+	order := append([]*segment(nil), pending...)
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].lo != order[b].lo {
+			return order[a].lo < order[b].lo
+		}
+		return order[a].net < order[b].net
+	})
+	failed, _ := tryPack(order)
+	for it := 1; it < cfg.FixIterations && len(failed) > 0; it++ {
+		sort.Slice(order, func(a, b int) bool {
+			la, lb := order[a].hi-order[a].lo, order[b].hi-order[b].lo
+			if la != lb {
+				return la > lb
+			}
+			return order[a].net < order[b].net
+		})
+		if f2, _ := tryPack(order); len(f2) < len(failed) {
+			failed = f2
+		}
+	}
+
+	failedSet := map[*segment]bool{}
+	for _, s := range failed {
+		failedSet[s] = true
+	}
+	for _, s := range pending {
+		if !failedSet[s] {
+			res.WirelengthDBU += int64(s.hi - s.lo)
+			res.NetWL[s.net] += int64(s.hi - s.lo)
+		}
+	}
+	return failed
+}
+
+// classifyViolation decides what DRV an unplaceable segment becomes: a
+// min-area violation when only the extension failed, a spacing violation
+// when it would fit ignoring the spacing rule, otherwise a short. The
+// segment's wirelength is still charged — the wire exists, it just violates.
+func classifyViolation(d *db.Design, g *grid.Grid, s *segment, res *Result) {
+	res.WirelengthDBU += int64(s.hi - s.lo)
+	res.NetWL[s.net] += int64(s.hi - s.lo)
+	l := g.Tech.Layer(s.layer)
+	if s.extended {
+		res.DRVs.MinArea++
+		return
+	}
+	_ = l
+	if s.hops == 0 {
+		res.DRVs.Spacing++
+		return
+	}
+	res.DRVs.Shorts++
+}
+
+// fits reports whether [lo,hi) can join the track respecting spacing.
+func fits(ivs []geom.Interval, lo, hi, spacing int) bool {
+	probe := geom.Interval{Lo: lo - spacing, Hi: hi + spacing}
+	for _, iv := range ivs {
+		if iv.Overlaps(probe) {
+			return false
+		}
+	}
+	return true
+}
+
+func insertIv(ivs []geom.Interval, iv geom.Interval) []geom.Interval {
+	return append(ivs, iv)
+}

@@ -1,0 +1,82 @@
+package detail
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/route/global"
+)
+
+// Random synthetic guide sets must never panic the detailed router, and the
+// resulting metrics must be internally consistent, whatever the guides look
+// like (contiguous, scattered, on any layer, any panel).
+func TestRandomGuidesNeverPanic(t *testing.T) {
+	d, g, _ := detailFixture(t, 40, 30, 42)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		routes := make([]*global.Route, len(d.Nets))
+		nRoutes := rng.Intn(len(d.Nets))
+		for i := 0; i < nRoutes; i++ {
+			rt := &global.Route{NetID: int32(i)}
+			nWires := rng.Intn(20)
+			for w := 0; w < nWires; w++ {
+				l := 1 + rng.Intn(g.NL-1)
+				x := rng.Intn(g.NX)
+				y := rng.Intn(g.NY)
+				if g.HasEdge(x, y, l) {
+					rt.Wires = append(rt.Wires, geom.Pt3(x, y, l))
+				}
+			}
+			nVias := rng.Intn(10)
+			for v := 0; v < nVias; v++ {
+				rt.Vias = append(rt.Vias, geom.Pt3(rng.Intn(g.NX), rng.Intn(g.NY), rng.Intn(g.NL-1)))
+			}
+			routes[i] = rt
+		}
+		res := Route(d, g, routes, DefaultConfig())
+		if res.WirelengthDBU < 0 || res.Vias < 0 {
+			t.Fatalf("trial %d: negative metrics %+v", trial, res)
+		}
+		if res.DRVs.Shorts < 0 || res.DRVs.Spacing < 0 || res.DRVs.MinArea < 0 || res.DRVs.Opens < 0 {
+			t.Fatalf("trial %d: negative DRVs %+v", trial, res.DRVs)
+		}
+		// Vias are exactly the guide vias.
+		var wantVias int64
+		for _, rt := range routes {
+			if rt != nil {
+				wantVias += int64(len(rt.Vias))
+			}
+		}
+		if res.Vias != wantVias {
+			t.Fatalf("trial %d: vias %d, want %d", trial, res.Vias, wantVias)
+		}
+	}
+}
+
+// Duplicated wire edges within one route (same edge twice in the slice)
+// must not crash segment extraction or double-free anything.
+func TestDuplicateWireEdges(t *testing.T) {
+	d, g, _ := detailFixture(t, 30, 10, 43)
+	routes := make([]*global.Route, len(d.Nets))
+	routes[0] = &global.Route{
+		NetID: 0,
+		Wires: []geom.Point3{
+			geom.Pt3(1, 1, 2), geom.Pt3(1, 1, 2), geom.Pt3(2, 1, 2),
+		},
+	}
+	res := Route(d, g, routes, DefaultConfig())
+	// One contiguous run [1..3] expected despite the duplicate.
+	if res.Segments != 1 {
+		t.Errorf("segments = %d, want 1 (duplicates merged)", res.Segments)
+	}
+}
+
+// Zero-config (all defaults clamped) still works.
+func TestZeroConfigClamped(t *testing.T) {
+	d, g, r := detailFixture(t, 30, 10, 44)
+	res := Route(d, g, r.Routes, Config{MaxPanelHops: -5, FixIterations: 0})
+	if res.WirelengthDBU <= 0 {
+		t.Error("clamped config produced no wirelength")
+	}
+}

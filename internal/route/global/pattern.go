@@ -1,0 +1,248 @@
+package global
+
+import (
+	"math"
+
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/tech"
+)
+
+// patternRoute connects GCells a and b with the cheapest L- or Z-shaped
+// path, assigning each straight run to a routing layer by dynamic
+// programming over junction layers. Both endpoints are connected down to
+// the pin layer (metal1) by via stacks, which guarantees that all segments
+// of a net meeting at a GCell are electrically connected through the shared
+// stack. Returns the materialised path, its cost, and the worst projected
+// congestion ratio along it; path is nil when no finite-cost candidate
+// exists.
+func (r *Router) patternRoute(a, b geom.Point) (*path, float64, float64) {
+	cands := r.candidateJunctions(a, b)
+	var best *path
+	bestCost := math.Inf(1)
+	for _, js := range cands {
+		p, cost := r.assignLayers(js)
+		if p != nil && cost < bestCost {
+			best = p
+			bestCost = cost
+		}
+	}
+	if best == nil {
+		return nil, math.Inf(1), math.Inf(1)
+	}
+	return best, bestCost, r.worstCongestion(best)
+}
+
+// candidateJunctions enumerates planar candidate paths as junction-point
+// sequences (consecutive points axis-aligned): the straight/L shapes plus
+// sampled Z shapes.
+func (r *Router) candidateJunctions(a, b geom.Point) [][]geom.Point {
+	var out [][]geom.Point
+	if a == b {
+		return [][]geom.Point{{a}}
+	}
+	if a.X == b.X || a.Y == b.Y {
+		return [][]geom.Point{{a, b}}
+	}
+	// Two L shapes.
+	out = append(out,
+		[]geom.Point{a, geom.Pt(b.X, a.Y), b},
+		[]geom.Point{a, geom.Pt(a.X, b.Y), b},
+	)
+	// Z shapes with sampled interior bends.
+	for s := 1; s <= r.Cfg.ZSamples; s++ {
+		fx := a.X + (b.X-a.X)*s/(r.Cfg.ZSamples+1)
+		if fx != a.X && fx != b.X {
+			out = append(out, []geom.Point{a, geom.Pt(fx, a.Y), geom.Pt(fx, b.Y), b})
+		}
+		fy := a.Y + (b.Y-a.Y)*s/(r.Cfg.ZSamples+1)
+		if fy != a.Y && fy != b.Y {
+			out = append(out, []geom.Point{a, geom.Pt(a.X, fy), geom.Pt(b.X, fy), b})
+		}
+	}
+	return out
+}
+
+// run is one straight stretch of a planar path.
+type run struct {
+	dir  tech.Dir
+	from geom.Point // start GCell
+	to   geom.Point // end GCell (axis-aligned with from)
+}
+
+func runsOf(junctions []geom.Point) []run {
+	var rs []run
+	for i := 1; i < len(junctions); i++ {
+		p, q := junctions[i-1], junctions[i]
+		if p == q {
+			continue
+		}
+		d := tech.Horizontal
+		if p.X == q.X {
+			d = tech.Vertical
+		}
+		rs = append(rs, run{dir: d, from: p, to: q})
+	}
+	return rs
+}
+
+// runEdges lists the planar edges (leaving-GCell convention) along a run on
+// layer l.
+func runEdges(rn run, l int) []geom.Point3 {
+	var out []geom.Point3
+	if rn.dir == tech.Horizontal {
+		x0, x1 := rn.from.X, rn.to.X
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		for x := x0; x < x1; x++ {
+			out = append(out, geom.Pt3(x, rn.from.Y, l))
+		}
+	} else {
+		y0, y1 := rn.from.Y, rn.to.Y
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		for y := y0; y < y1; y++ {
+			out = append(out, geom.Pt3(rn.from.X, y, l))
+		}
+	}
+	return out
+}
+
+// runCost prices a run on layer l; +Inf when the layer's direction does not
+// match or an edge is missing.
+func (r *Router) runCost(rn run, l int) float64 {
+	if l <= 0 || l >= r.G.NL || r.G.Tech.Layer(l).Dir != rn.dir {
+		return math.Inf(1)
+	}
+	cost := 0.0
+	for _, e := range runEdges(rn, l) {
+		c := r.G.WireEdgeCost(e.X, e.Y, e.L)
+		if math.IsInf(c, 1) {
+			return c
+		}
+		cost += c
+	}
+	return cost
+}
+
+// stackCost prices the via stack between layers l1 and l2 at GCell p.
+func (r *Router) stackCost(p geom.Point, l1, l2 int) float64 {
+	if l1 > l2 {
+		l1, l2 = l2, l1
+	}
+	cost := 0.0
+	for l := l1; l < l2; l++ {
+		c := r.G.ViaEdgeCost(p.X, p.Y, l)
+		if math.IsInf(c, 1) {
+			return c
+		}
+		cost += c
+	}
+	return cost
+}
+
+func stackVias(p geom.Point, l1, l2 int) []geom.Point3 {
+	if l1 > l2 {
+		l1, l2 = l2, l1
+	}
+	var out []geom.Point3
+	for l := l1; l < l2; l++ {
+		out = append(out, geom.Pt3(p.X, p.Y, l))
+	}
+	return out
+}
+
+// assignLayers runs the junction-layer DP over a planar candidate path and
+// materialises the best 3D realisation. Endpoints connect to layer 0.
+func (r *Router) assignLayers(junctions []geom.Point) (*path, float64) {
+	rs := runsOf(junctions)
+	NL := r.G.NL
+	if len(rs) == 0 {
+		// Single-GCell connection: no wires, no vias (pin stack is
+		// shared with whatever else reaches this GCell).
+		return &path{}, 0
+	}
+
+	// dp[i][l]: best cost of realising runs[0..i] with run i on layer l.
+	dp := make([][]float64, len(rs))
+	arg := make([][]int, len(rs))
+	for i := range dp {
+		dp[i] = make([]float64, NL)
+		arg[i] = make([]int, NL)
+		for l := range dp[i] {
+			dp[i][l] = math.Inf(1)
+			arg[i][l] = -1
+		}
+	}
+	start := junctions[0]
+	for l := 1; l < NL; l++ {
+		rc := r.runCost(rs[0], l)
+		if math.IsInf(rc, 1) {
+			continue
+		}
+		dp[0][l] = r.stackCost(start, 0, l) + rc
+	}
+	for i := 1; i < len(rs); i++ {
+		junction := rs[i].from
+		for l := 1; l < NL; l++ {
+			rc := r.runCost(rs[i], l)
+			if math.IsInf(rc, 1) {
+				continue
+			}
+			for pl := 1; pl < NL; pl++ {
+				if math.IsInf(dp[i-1][pl], 1) {
+					continue
+				}
+				c := dp[i-1][pl] + r.stackCost(junction, pl, l) + rc
+				if c < dp[i][l] {
+					dp[i][l] = c
+					arg[i][l] = pl
+				}
+			}
+		}
+	}
+	end := rs[len(rs)-1].to
+	bestL, bestCost := -1, math.Inf(1)
+	for l := 1; l < NL; l++ {
+		if math.IsInf(dp[len(rs)-1][l], 1) {
+			continue
+		}
+		c := dp[len(rs)-1][l] + r.stackCost(end, l, 0)
+		if c < bestCost {
+			bestCost = c
+			bestL = l
+		}
+	}
+	if bestL < 0 {
+		return nil, math.Inf(1)
+	}
+
+	// Reconstruct layer choices.
+	layers := make([]int, len(rs))
+	layers[len(rs)-1] = bestL
+	for i := len(rs) - 1; i > 0; i-- {
+		layers[i-1] = arg[i][layers[i]]
+	}
+
+	p := &path{}
+	p.vias = append(p.vias, stackVias(junctions[0], 0, layers[0])...)
+	for i, rn := range rs {
+		p.wires = append(p.wires, runEdges(rn, layers[i])...)
+		if i > 0 && layers[i] != layers[i-1] {
+			p.vias = append(p.vias, stackVias(rn.from, layers[i-1], layers[i])...)
+		}
+	}
+	p.vias = append(p.vias, stackVias(end, layers[len(rs)-1], 0)...)
+	return p, bestCost
+}
+
+// forcedL materialises the horizontal-first L between a and b regardless of
+// congestion; used only as a last-resort fallback.
+func (r *Router) forcedL(a, b geom.Point) *path {
+	if a == b {
+		return &path{}
+	}
+	p, _ := r.assignLayers([]geom.Point{a, geom.Pt(b.X, a.Y), b})
+	return p
+}

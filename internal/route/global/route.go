@@ -1,0 +1,454 @@
+// Package global is the CUGR-substitute 3D global router. A net is routed
+// by building a FLUTE-style Steiner topology over its pins' GCells
+// (internal/steiner), decomposing it into two-pin segments, and routing each
+// segment with 3D pattern routing: candidate L- and Z-shaped planar paths
+// whose straight runs are assigned to layers by dynamic programming over the
+// junction layers, with via-stack costs between runs and down to the pin
+// layer at both ends. Segments that pattern routing cannot realise cheaply
+// are re-routed by a full 3D Dijkstra maze. A negotiated rip-up & reroute
+// loop clears residual overflow.
+//
+// The same pattern-routing machinery, without committing demand, implements
+// the paper's "fast 3D pattern route" used by Algorithm 3 to estimate the
+// cost of hypothetical cell positions.
+package global
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/grid"
+	"github.com/crp-eda/crp/internal/steiner"
+	"github.com/crp-eda/crp/internal/tech"
+)
+
+// Route is one net's committed global route: a set of planar GCell edges
+// and via edges (set semantics — each edge consumes one track or via of
+// demand regardless of how many tree segments pass through it).
+type Route struct {
+	NetID int32
+	// Wires lists planar edges as Point3{x,y,l}: the preferred-direction
+	// edge leaving GCell (x,y) on layer l.
+	Wires []geom.Point3
+	// Vias lists via edges as Point3{x,y,l}: a via between layers l and
+	// l+1 at GCell (x,y).
+	Vias []geom.Point3
+}
+
+// Empty reports whether the route uses no routing resources (single-GCell,
+// single-layer nets).
+func (r *Route) Empty() bool { return len(r.Wires) == 0 && len(r.Vias) == 0 }
+
+// Config tunes the router.
+type Config struct {
+	// RRRIterations is the number of rip-up & reroute passes after the
+	// initial routing.
+	RRRIterations int
+	// ZSamples is the number of intermediate Z-bend positions tried per
+	// axis during pattern routing (in addition to the two L shapes).
+	ZSamples int
+	// MazeOnOverflow re-routes a segment with the 3D maze when the best
+	// pattern path crosses an edge with congestion above this ratio.
+	MazeOnOverflow float64
+	// FinalReroutePasses re-routes every net once per pass at settled
+	// congestion prices after RRR, the way CUGR's later phases revisit
+	// early nets that were routed against an empty (mispriced) grid.
+	FinalReroutePasses int
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{RRRIterations: 3, ZSamples: 3, MazeOnOverflow: 1.0, FinalReroutePasses: 1}
+}
+
+// Router holds routing state for one design.
+type Router struct {
+	D   *db.Design
+	G   *grid.Grid
+	Cfg Config
+
+	// Routes is indexed by net ID; nil entries are unrouted nets.
+	Routes []*Route
+
+	// Scratch buffers for the maze router, reused across calls.
+	dist []float64
+	prev []int32
+	seen []uint32
+	gen  uint32
+}
+
+// New creates a router over an existing design and grid.
+func New(d *db.Design, g *grid.Grid, cfg Config) *Router {
+	if cfg.ZSamples < 0 {
+		cfg.ZSamples = 0
+	}
+	n := g.NX * g.NY * g.NL
+	return &Router{
+		D:      d,
+		G:      g,
+		Cfg:    cfg,
+		Routes: make([]*Route, len(d.Nets)),
+		dist:   make([]float64, n),
+		prev:   make([]int32, n),
+		seen:   make([]uint32, n),
+	}
+}
+
+// Stats summarises a routing run.
+type Stats struct {
+	RoutedNets    int
+	PatternRoutes int
+	MazeRoutes    int
+	RRRPasses     int
+	Overflow      grid.OverflowStats
+}
+
+// RouteAll performs the initial global routing of every net followed by
+// rip-up & reroute passes, committing demand as it goes. Nets are routed in
+// increasing HPWL order so short local nets claim their natural resources
+// before long nets start detouring around them.
+func (r *Router) RouteAll() Stats {
+	var st Stats
+	order := make([]int32, 0, len(r.D.Nets))
+	for _, n := range r.D.Nets {
+		if n.Degree() >= 2 {
+			order = append(order, n.ID)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ha, hb := r.D.HPWL(r.D.Nets[order[a]]), r.D.HPWL(r.D.Nets[order[b]])
+		if ha != hb {
+			return ha < hb
+		}
+		return order[a] < order[b]
+	})
+	for _, id := range order {
+		rt, usedMaze := r.routeNet(id)
+		r.Commit(rt)
+		st.RoutedNets++
+		if usedMaze {
+			st.MazeRoutes++
+		} else {
+			st.PatternRoutes++
+		}
+	}
+	st.RRRPasses = r.ripUpAndReroute()
+	r.finalReroute(order)
+	st.Overflow = r.G.Overflow()
+	return st
+}
+
+// finalReroute revisits every net at settled prices: nets routed early saw
+// an empty grid and may sit on edges that later became expensive. Each net
+// is ripped up and re-routed (worst current cost first); the new route is
+// kept only if it is not more expensive, so the pass can only improve the
+// solution.
+func (r *Router) finalReroute(order []int32) {
+	for pass := 0; pass < r.Cfg.FinalReroutePasses; pass++ {
+		byCost := append([]int32(nil), order...)
+		sort.Slice(byCost, func(a, b int) bool {
+			ca, cb := r.NetCost(byCost[a]), r.NetCost(byCost[b])
+			if ca != cb {
+				return ca > cb
+			}
+			return byCost[a] < byCost[b]
+		})
+		for _, id := range byCost {
+			old := r.RipUp(id)
+			if old == nil {
+				continue
+			}
+			oldCost := r.priceRoute(old)
+			rt, _ := r.routeNet(id)
+			if rt != nil && r.priceRoute(rt) <= oldCost {
+				r.Commit(rt)
+			} else {
+				r.Commit(old)
+			}
+		}
+	}
+}
+
+// priceRoute evaluates a (not currently committed) route at current grid
+// prices.
+func (r *Router) priceRoute(rt *Route) float64 {
+	cost := 0.0
+	for _, w := range rt.Wires {
+		cost += r.G.WireEdgeCost(w.X, w.Y, w.L)
+	}
+	for _, v := range rt.Vias {
+		cost += r.G.ViaEdgeCost(v.X, v.Y, v.L)
+	}
+	return cost
+}
+
+// RerouteNet rips up (if routed) and re-routes one net, committing the new
+// route. CR&P's update-database step calls this for every net touching a
+// moved cell.
+func (r *Router) RerouteNet(id int32) {
+	r.RipUp(id)
+	rt, _ := r.routeNet(id)
+	r.Commit(rt)
+}
+
+// Commit adds the route's demand to the grid and records it.
+func (r *Router) Commit(rt *Route) {
+	if rt == nil {
+		return
+	}
+	if r.Routes[rt.NetID] != nil {
+		panic(fmt.Sprintf("global: net %d committed twice", rt.NetID))
+	}
+	for _, w := range rt.Wires {
+		r.G.AddWire(w.X, w.Y, w.L, 1)
+	}
+	for _, v := range rt.Vias {
+		r.G.AddVia(v.X, v.Y, v.L, 1)
+	}
+	r.Routes[rt.NetID] = rt
+}
+
+// RipUp removes a net's committed demand and returns the old route (nil if
+// the net was unrouted).
+func (r *Router) RipUp(id int32) *Route {
+	rt := r.Routes[id]
+	if rt == nil {
+		return nil
+	}
+	for _, w := range rt.Wires {
+		r.G.AddWire(w.X, w.Y, w.L, -1)
+	}
+	for _, v := range rt.Vias {
+		r.G.AddVia(v.X, v.Y, v.L, -1)
+	}
+	r.Routes[id] = nil
+	return rt
+}
+
+// NetCost evaluates the committed route of a net at current grid prices
+// (Eq. 10). Unrouted and resource-free nets cost zero. This is the cost
+// CR&P's Algorithm 1 sorts cells by.
+func (r *Router) NetCost(id int32) float64 {
+	rt := r.Routes[id]
+	if rt == nil {
+		return 0
+	}
+	cost := 0.0
+	for _, w := range rt.Wires {
+		cost += r.G.WireEdgeCost(w.X, w.Y, w.L)
+	}
+	for _, v := range rt.Vias {
+		cost += r.G.ViaEdgeCost(v.X, v.Y, v.L)
+	}
+	return cost
+}
+
+// TotalCost sums NetCost over all nets.
+func (r *Router) TotalCost() float64 {
+	total := 0.0
+	for id := range r.Routes {
+		total += r.NetCost(int32(id))
+	}
+	return total
+}
+
+// WirelengthDBU returns the total routed wirelength in DBU (each planar
+// edge spans one GCell pitch in its direction).
+func (r *Router) WirelengthDBU() int64 {
+	var wl int64
+	for _, rt := range r.Routes {
+		if rt == nil {
+			continue
+		}
+		wl += r.routeWireDBU(rt)
+	}
+	return wl
+}
+
+func (r *Router) routeWireDBU(rt *Route) int64 {
+	var wl int64
+	for _, w := range rt.Wires {
+		if r.G.Tech.Layer(w.L).Dir == tech.Horizontal {
+			wl += int64(r.G.CellW)
+		} else {
+			wl += int64(r.G.CellH)
+		}
+	}
+	return wl
+}
+
+// ViaCount returns the total number of route vias.
+func (r *Router) ViaCount() int64 {
+	var n int64
+	for _, rt := range r.Routes {
+		if rt != nil {
+			n += int64(len(rt.Vias))
+		}
+	}
+	return n
+}
+
+// netTerminals returns the GCell coordinates (deduplicated) of the net's
+// terminals at the current placement.
+func (r *Router) netTerminals(id int32) []geom.Point {
+	pts := r.D.NetPinPositions(r.D.Nets[id])
+	return r.gcellsOf(pts)
+}
+
+func (r *Router) gcellsOf(pts []geom.Point) []geom.Point {
+	out := make([]geom.Point, 0, len(pts))
+	seen := make(map[geom.Point]bool, len(pts))
+	for _, p := range pts {
+		x, y := r.G.GCellOf(p)
+		gp := geom.Pt(x, y)
+		if !seen[gp] {
+			seen[gp] = true
+			out = append(out, gp)
+		}
+	}
+	return out
+}
+
+// routeNet computes a route for the net at the current placement without
+// committing it. The boolean reports whether the maze was used.
+func (r *Router) routeNet(id int32) (*Route, bool) {
+	return r.routeTerminals(id, r.netTerminals(id))
+}
+
+// routeTerminals routes a terminal set: Steiner topology, then pattern
+// routing per segment with maze fallback.
+func (r *Router) routeTerminals(id int32, gcells []geom.Point) (*Route, bool) {
+	b := newBuilder()
+	if len(gcells) < 2 {
+		return b.route(id), false
+	}
+	tree := steiner.Build(gcells)
+	usedMaze := false
+	for _, e := range tree.Edges {
+		a, c := tree.Nodes[e[0]], tree.Nodes[e[1]]
+		path, cost, worst := r.patternRoute(a, c)
+		if path == nil || (r.Cfg.MazeOnOverflow > 0 && worst > r.Cfg.MazeOnOverflow) {
+			if mp := r.mazeRoute(a, c); mp != nil {
+				mcost := r.pathCost(mp)
+				if path == nil || mcost < cost {
+					path = mp
+					usedMaze = true
+				}
+			}
+		}
+		if path == nil {
+			// No finite path exists (should not happen on a connected
+			// lattice); fall back to the direct L even if expensive.
+			path = r.forcedL(a, c)
+			if path == nil {
+				continue
+			}
+		}
+		b.add(path)
+	}
+	return b.route(id), usedMaze
+}
+
+// EstimateTerminalCost is the paper's fast 3D pattern route (Algorithm 3):
+// it prices a hypothetical terminal set at current grid costs without
+// committing anything. Only pattern routing is used, matching the paper.
+func (r *Router) EstimateTerminalCost(pts []geom.Point) float64 {
+	gcells := r.gcellsOf(pts)
+	if len(gcells) < 2 {
+		return 0
+	}
+	tree := steiner.Build(gcells)
+	total := 0.0
+	for _, e := range tree.Edges {
+		a, c := tree.Nodes[e[0]], tree.Nodes[e[1]]
+		path, cost, _ := r.patternRoute(a, c)
+		if path == nil {
+			if fp := r.forcedL(a, c); fp != nil {
+				cost = r.pathCost(fp)
+			} else {
+				cost = math.Inf(1)
+			}
+		}
+		total += cost
+	}
+	return total
+}
+
+// builder accumulates path segments into a deduplicated route.
+type builder struct {
+	wires map[geom.Point3]struct{}
+	vias  map[geom.Point3]struct{}
+}
+
+func newBuilder() *builder {
+	return &builder{wires: map[geom.Point3]struct{}{}, vias: map[geom.Point3]struct{}{}}
+}
+
+// path is a routed two-pin connection.
+type path struct {
+	wires []geom.Point3
+	vias  []geom.Point3
+}
+
+func (b *builder) add(p *path) {
+	for _, w := range p.wires {
+		b.wires[w] = struct{}{}
+	}
+	for _, v := range p.vias {
+		b.vias[v] = struct{}{}
+	}
+}
+
+func (b *builder) route(id int32) *Route {
+	rt := &Route{NetID: id}
+	for w := range b.wires {
+		rt.Wires = append(rt.Wires, w)
+	}
+	for v := range b.vias {
+		rt.Vias = append(rt.Vias, v)
+	}
+	sortPoint3s(rt.Wires)
+	sortPoint3s(rt.Vias)
+	return rt
+}
+
+func sortPoint3s(ps []geom.Point3) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].L != ps[b].L {
+			return ps[a].L < ps[b].L
+		}
+		if ps[a].Y != ps[b].Y {
+			return ps[a].Y < ps[b].Y
+		}
+		return ps[a].X < ps[b].X
+	})
+}
+
+// pathCost prices a path at current grid costs.
+func (r *Router) pathCost(p *path) float64 {
+	c := 0.0
+	for _, w := range p.wires {
+		c += r.G.WireEdgeCost(w.X, w.Y, w.L)
+	}
+	for _, v := range p.vias {
+		c += r.G.ViaEdgeCost(v.X, v.Y, v.L)
+	}
+	return c
+}
+
+// worstCongestion returns the maximum demand/capacity ratio over the path's
+// planar edges (as if the path were committed: +1 track).
+func (r *Router) worstCongestion(p *path) float64 {
+	worst := 0.0
+	for _, w := range p.wires {
+		cap := r.G.Capacity(w.X, w.Y, w.L)
+		if cap <= 0 {
+			return math.Inf(1)
+		}
+		worst = math.Max(worst, (r.G.Demand(w.X, w.Y, w.L)+1)/cap)
+	}
+	return worst
+}

@@ -1,0 +1,294 @@
+// Package steiner builds rectilinear Steiner minimum tree (RSMT) topologies
+// for nets — the repository's substitute for the FLUTE lookup-table package
+// the paper's cost estimation (Algorithm 3, "getFlute") relies on.
+//
+// Small nets are solved exactly (<=3 terminals); larger nets use the
+// iterated 1-Steiner heuristic over the Hanan grid, falling back to a plain
+// rectilinear minimum spanning tree for very high fan-out nets where the
+// heuristic's O(n^4) cost would not pay for itself. The global router only
+// needs a consistent, near-optimal topology to decompose a net into two-pin
+// segments; absolute optimality is not required.
+package steiner
+
+import (
+	"github.com/crp-eda/crp/internal/geom"
+)
+
+// hananCap bounds the terminal count for which the 1-Steiner heuristic runs;
+// above it the plain MST topology is used.
+const hananCap = 16
+
+// Tree is a rectilinear Steiner tree. The first NumTerminals nodes are the
+// (deduplicated) input terminals in input order; any nodes after them are
+// Steiner points. Edges connect node indices; each edge is realised as an
+// L-shaped (or straight) rectilinear connection by the router.
+type Tree struct {
+	Nodes        []geom.Point
+	Edges        [][2]int32
+	NumTerminals int
+}
+
+// Length returns the total Manhattan length of all edges.
+func (t *Tree) Length() int64 {
+	var sum int64
+	for _, e := range t.Edges {
+		sum += int64(t.Nodes[e[0]].ManhattanDist(t.Nodes[e[1]]))
+	}
+	return sum
+}
+
+// Degree returns the number of edges incident to node i.
+func (t *Tree) Degree(i int32) int {
+	d := 0
+	for _, e := range t.Edges {
+		if e[0] == i || e[1] == i {
+			d++
+		}
+	}
+	return d
+}
+
+// Build constructs a Steiner tree over pts. Duplicate points are merged.
+// The result is connected and spans every distinct terminal.
+func Build(pts []geom.Point) Tree {
+	terms := dedup(pts)
+	n := len(terms)
+	switch n {
+	case 0:
+		return Tree{}
+	case 1:
+		return Tree{Nodes: terms, NumTerminals: 1}
+	case 2:
+		return Tree{Nodes: terms, Edges: [][2]int32{{0, 1}}, NumTerminals: 2}
+	case 3:
+		return threeTerminal(terms)
+	}
+	if n <= hananCap {
+		return iteratedOneSteiner(terms)
+	}
+	nodes := append([]geom.Point(nil), terms...)
+	return Tree{Nodes: nodes, Edges: mstEdges(nodes), NumTerminals: n}
+}
+
+func dedup(pts []geom.Point) []geom.Point {
+	seen := make(map[geom.Point]bool, len(pts))
+	out := make([]geom.Point, 0, len(pts))
+	for _, p := range pts {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// threeTerminal returns the exact RSMT for three terminals: the median
+// point is the single Steiner point (possibly coinciding with a terminal).
+func threeTerminal(terms []geom.Point) Tree {
+	med := geom.MedianPoint(terms)
+	t := Tree{Nodes: append([]geom.Point(nil), terms...), NumTerminals: 3}
+	medIdx := int32(-1)
+	for i, p := range t.Nodes {
+		if p == med {
+			medIdx = int32(i)
+			break
+		}
+	}
+	if medIdx < 0 {
+		t.Nodes = append(t.Nodes, med)
+		medIdx = int32(len(t.Nodes) - 1)
+	}
+	for i := int32(0); i < 3; i++ {
+		if i != medIdx {
+			t.Edges = append(t.Edges, [2]int32{i, medIdx})
+		}
+	}
+	return t
+}
+
+// mstEdges computes a rectilinear MST over nodes with Prim's algorithm.
+func mstEdges(nodes []geom.Point) [][2]int32 {
+	n := len(nodes)
+	if n < 2 {
+		return nil
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+	from := make([]int32, n)
+	inTree := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	from[0] = -1
+	edges := make([][2]int32, 0, n-1)
+	for iter := 0; iter < n; iter++ {
+		best, bd := -1, inf
+		for i := 0; i < n; i++ {
+			if !inTree[i] && dist[i] < bd {
+				best, bd = i, dist[i]
+			}
+		}
+		inTree[best] = true
+		if from[best] >= 0 {
+			edges = append(edges, [2]int32{from[best], int32(best)})
+		}
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := nodes[best].ManhattanDist(nodes[i]); d < dist[i] {
+					dist[i] = d
+					from[i] = int32(best)
+				}
+			}
+		}
+	}
+	return edges
+}
+
+func mstLength(nodes []geom.Point) int64 {
+	var sum int64
+	for _, e := range mstEdges(nodes) {
+		sum += int64(nodes[e[0]].ManhattanDist(nodes[e[1]]))
+	}
+	return sum
+}
+
+// iteratedOneSteiner runs the classic Kahng/Robins iterated 1-Steiner
+// heuristic: repeatedly add the Hanan-grid point that reduces the MST
+// length the most, until no point helps.
+func iteratedOneSteiner(terms []geom.Point) Tree {
+	nodes := append([]geom.Point(nil), terms...)
+	n := len(terms)
+
+	xs := make([]int, 0, n)
+	ys := make([]int, 0, n)
+	for _, p := range terms {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	xs = uniqueInts(xs)
+	ys = uniqueInts(ys)
+
+	present := make(map[geom.Point]bool, len(nodes))
+	for _, p := range nodes {
+		present[p] = true
+	}
+
+	cur := mstLength(nodes)
+	// At most n-2 Steiner points can be useful in an RSMT.
+	for added := 0; added < n-2; added++ {
+		var bestPt geom.Point
+		bestLen := cur
+		found := false
+		for _, x := range xs {
+			for _, y := range ys {
+				cand := geom.Pt(x, y)
+				if present[cand] {
+					continue
+				}
+				trial := append(nodes, cand)
+				if l := mstLength(trial); l < bestLen {
+					bestLen = l
+					bestPt = cand
+					found = true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		nodes = append(nodes, bestPt)
+		present[bestPt] = true
+		cur = bestLen
+	}
+
+	edges := mstEdges(nodes)
+	nodes, edges = pruneSteiner(nodes, edges, n)
+	return Tree{Nodes: nodes, Edges: edges, NumTerminals: n}
+}
+
+// pruneSteiner removes Steiner points of degree <= 1 (useless leaves) and
+// splices out degree-2 Steiner points whose removal cannot lengthen the
+// tree... degree-2 points are kept when splicing would change length (an
+// L-bend), so only truly redundant collinear points are removed.
+func pruneSteiner(nodes []geom.Point, edges [][2]int32, numTerms int) ([]geom.Point, [][2]int32) {
+	for {
+		deg := make([]int, len(nodes))
+		adj := make([][]int32, len(nodes))
+		for _, e := range edges {
+			deg[e[0]]++
+			deg[e[1]]++
+			adj[e[0]] = append(adj[e[0]], e[1])
+			adj[e[1]] = append(adj[e[1]], e[0])
+		}
+		removeIdx := -1
+		var splice [2]int32 = [2]int32{-1, -1}
+		for i := numTerms; i < len(nodes); i++ {
+			if deg[i] <= 1 {
+				removeIdx = i
+				break
+			}
+			if deg[i] == 2 {
+				a, b := adj[i][0], adj[i][1]
+				through := nodes[a].ManhattanDist(nodes[i]) + nodes[i].ManhattanDist(nodes[b])
+				if nodes[a].ManhattanDist(nodes[b]) == through {
+					removeIdx = i
+					splice = [2]int32{a, b}
+					break
+				}
+			}
+		}
+		if removeIdx < 0 {
+			return nodes, edges
+		}
+		var kept [][2]int32
+		for _, e := range edges {
+			if int(e[0]) != removeIdx && int(e[1]) != removeIdx {
+				kept = append(kept, e)
+			}
+		}
+		if splice[0] >= 0 {
+			kept = append(kept, splice)
+		}
+		// Remove the node, remapping indices above it.
+		nodes = append(nodes[:removeIdx], nodes[removeIdx+1:]...)
+		for i := range kept {
+			if int(kept[i][0]) > removeIdx {
+				kept[i][0]--
+			}
+			if int(kept[i][1]) > removeIdx {
+				kept[i][1]--
+			}
+		}
+		edges = kept
+	}
+}
+
+func uniqueInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// HPWL returns the half-perimeter bound of the terminal set: a lower bound
+// on any Steiner tree length, used by tests and sanity checks.
+func HPWL(pts []geom.Point) int64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts[1:] {
+		minX = min(minX, p.X)
+		maxX = max(maxX, p.X)
+		minY = min(minY, p.Y)
+		maxY = max(maxY, p.Y)
+	}
+	return int64(maxX-minX) + int64(maxY-minY)
+}

@@ -1,0 +1,218 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/crp-eda/crp/internal/geom"
+)
+
+// connected verifies the tree spans all its nodes.
+func connected(t *Tree) bool {
+	n := len(t.Nodes)
+	if n == 0 {
+		return true
+	}
+	adj := make([][]int32, n)
+	for _, e := range t.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	seen := make([]bool, n)
+	stack := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+func TestDegenerate(t *testing.T) {
+	if tr := Build(nil); len(tr.Nodes) != 0 || len(tr.Edges) != 0 {
+		t.Error("empty input should give empty tree")
+	}
+	tr := Build([]geom.Point{geom.Pt(3, 3)})
+	if len(tr.Nodes) != 1 || len(tr.Edges) != 0 {
+		t.Error("single point tree wrong")
+	}
+	// All-duplicate input collapses to one node.
+	tr = Build([]geom.Point{geom.Pt(1, 1), geom.Pt(1, 1), geom.Pt(1, 1)})
+	if len(tr.Nodes) != 1 || tr.Length() != 0 {
+		t.Errorf("duplicate collapse: %+v", tr)
+	}
+}
+
+func TestTwoTerminals(t *testing.T) {
+	tr := Build([]geom.Point{geom.Pt(0, 0), geom.Pt(3, 4)})
+	if tr.Length() != 7 {
+		t.Errorf("Length = %d, want 7", tr.Length())
+	}
+	if len(tr.Edges) != 1 {
+		t.Errorf("Edges = %v", tr.Edges)
+	}
+}
+
+func TestThreeTerminalsExact(t *testing.T) {
+	// L-shaped triple: optimal Steiner point at median (5,5);
+	// total = 5 + 5 + 5 = 15, vs MST 20.
+	pts := []geom.Point{geom.Pt(0, 5), geom.Pt(5, 0), geom.Pt(10, 5), geom.Pt(5, 10)}
+	_ = pts
+	three := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(5, 8)}
+	tr := Build(three)
+	// Median is (5, 0): total length = 5 + 5 + 8 = 18.
+	if tr.Length() != 18 {
+		t.Errorf("Length = %d, want 18", tr.Length())
+	}
+	if !connected(&tr) {
+		t.Error("tree not connected")
+	}
+}
+
+func TestThreeTerminalsMedianIsTerminal(t *testing.T) {
+	// The median coincides with the middle terminal: no Steiner point.
+	tr := Build([]geom.Point{geom.Pt(0, 0), geom.Pt(5, 0), geom.Pt(10, 0)})
+	if len(tr.Nodes) != 3 {
+		t.Errorf("nodes = %d, want 3 (no extra Steiner point)", len(tr.Nodes))
+	}
+	if tr.Length() != 10 {
+		t.Errorf("Length = %d, want 10", tr.Length())
+	}
+}
+
+func TestFourCornersSteiner(t *testing.T) {
+	// Four corners of a square: RSMT = 3*s (with two Steiner points or an
+	// H shape); MST = 3*s as well for a square. Use a cross instead:
+	// terminals at the 4 points of a plus sign, RSMT = 2*s via center.
+	s := 10
+	pts := []geom.Point{
+		geom.Pt(0, s), geom.Pt(2*s, s), geom.Pt(s, 0), geom.Pt(s, 2*s),
+	}
+	tr := Build(pts)
+	if !connected(&tr) {
+		t.Fatal("not connected")
+	}
+	// Optimal: center (s,s) Steiner point, length 4*s = 40. MST would be 60.
+	if tr.Length() != int64(4*s) {
+		t.Errorf("Length = %d, want %d", tr.Length(), 4*s)
+	}
+}
+
+func TestHananImprovesOverMST(t *testing.T) {
+	// Classic case where 1-Steiner beats MST.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 1), geom.Pt(1, 10), geom.Pt(11, 11)}
+	tr := Build(pts)
+	mst := mstLength(pts)
+	if tr.Length() > mst {
+		t.Errorf("Steiner length %d exceeds MST %d", tr.Length(), mst)
+	}
+	if tr.Length() >= mst {
+		t.Logf("note: no strict improvement on this instance (len=%d mst=%d)", tr.Length(), mst)
+	}
+}
+
+func TestHighFanoutFallsBackToMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]geom.Point, hananCap+10)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Intn(1000), rng.Intn(1000))
+	}
+	tr := Build(pts)
+	if !connected(&tr) {
+		t.Fatal("not connected")
+	}
+	if len(tr.Nodes) != len(pts) {
+		t.Errorf("MST fallback should add no Steiner points: %d nodes for %d terms",
+			len(tr.Nodes), len(pts))
+	}
+	if tr.Length() != mstLength(pts) {
+		t.Errorf("fallback length %d != MST %d", tr.Length(), mstLength(pts))
+	}
+}
+
+// Core invariants on random instances:
+//  1. tree is connected and spans all distinct terminals,
+//  2. HPWL <= length <= MST length,
+//  3. terminals keep their identity (first NumTerminals nodes).
+func TestRandomInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Intn(50), rng.Intn(50))
+		}
+		tr := Build(pts)
+		if !connected(&tr) {
+			t.Fatalf("trial %d: not connected (pts=%v)", trial, pts)
+		}
+		distinct := dedup(pts)
+		if tr.NumTerminals != len(distinct) {
+			t.Fatalf("trial %d: NumTerminals=%d, want %d", trial, tr.NumTerminals, len(distinct))
+		}
+		for i, p := range distinct {
+			if tr.Nodes[i] != p {
+				t.Fatalf("trial %d: terminal %d moved", trial, i)
+			}
+		}
+		l := tr.Length()
+		if l < HPWL(distinct) {
+			t.Fatalf("trial %d: length %d below HPWL %d — impossible", trial, l, HPWL(distinct))
+		}
+		if l > mstLength(distinct) {
+			t.Fatalf("trial %d: length %d exceeds MST %d — heuristic made it worse", trial, l, mstLength(distinct))
+		}
+		// No Steiner leaf nodes remain after pruning.
+		for i := tr.NumTerminals; i < len(tr.Nodes); i++ {
+			if tr.Degree(int32(i)) < 2 {
+				t.Fatalf("trial %d: Steiner point %d has degree %d", trial, i, tr.Degree(int32(i)))
+			}
+		}
+		// Tree has exactly nodes-1 edges (it's a tree, not a graph).
+		if len(tr.Edges) != len(tr.Nodes)-1 {
+			t.Fatalf("trial %d: %d edges for %d nodes", trial, len(tr.Edges), len(tr.Nodes))
+		}
+	}
+}
+
+func TestHPWL(t *testing.T) {
+	if HPWL(nil) != 0 || HPWL([]geom.Point{geom.Pt(3, 3)}) != 0 {
+		t.Error("degenerate HPWL should be 0")
+	}
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(5, 7)}
+	if HPWL(pts) != 17 {
+		t.Errorf("HPWL = %d, want 17", HPWL(pts))
+	}
+}
+
+func BenchmarkBuild5Pin(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 5)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Intn(10000), rng.Intn(10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}
+
+func BenchmarkBuild30PinMST(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 30)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Intn(10000), rng.Intn(10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}

@@ -1,0 +1,235 @@
+// Package tech models the technology information the CR&P flow reads from a
+// LEF file: routing layers with preferred direction, pitch, width, spacing
+// and minimum-area rules; cut (via) layers between them; and the placement
+// site geometry that drives legalisation (Eq. 7 and Eq. 8 of the paper).
+//
+// Two synthetic nodes are provided, N45 and N32, standing in for the 45nm
+// and 32nm nodes of the ISPD-2018 benchmarks (Table II). The absolute
+// dimensions are not those of any foundry kit; what matters to the flow is
+// their internal consistency (tracks per GCell, site/row snapping, via cost
+// relative to wire cost), which mirrors the contest LEFs.
+package tech
+
+import "fmt"
+
+// Dir is the preferred routing direction of a metal layer.
+type Dir uint8
+
+const (
+	// Horizontal layers route along X; their tracks are horizontal lines
+	// stacked in Y.
+	Horizontal Dir = iota
+	// Vertical layers route along Y; their tracks are vertical lines
+	// stacked in X.
+	Vertical
+)
+
+// String implements fmt.Stringer.
+func (d Dir) String() string {
+	if d == Horizontal {
+		return "H"
+	}
+	return "V"
+}
+
+// Layer describes one routing (metal) layer.
+type Layer struct {
+	Name    string
+	Index   int // 0-based routing layer index (0 = lowest, e.g. metal1)
+	Dir     Dir
+	Pitch   int // track-to-track distance, DBU
+	Width   int // default wire width, DBU
+	Spacing int // minimum wire-to-wire spacing, DBU
+	MinArea int // minimum metal area per shape, DBU^2
+	Offset  int // offset of the first track from the die origin, DBU
+}
+
+// ViaRule describes the via connecting routing layer Below to Below+1.
+type ViaRule struct {
+	Name    string
+	Below   int // lower routing layer index
+	CutSize int // via cut width/height, DBU
+}
+
+// Site is the unit placement tile; cell widths are integer multiples of the
+// site width, and all legal X positions are multiples of it (Eq. 7).
+type Site struct {
+	Name   string
+	Width  int // DBU
+	Height int // DBU; equals the row height (Eq. 8)
+}
+
+// Tech aggregates everything the flow needs to know about a node.
+type Tech struct {
+	Name   string
+	Node   string // marketing node name, e.g. "45nm"
+	DBU    int    // database units per micron
+	Layers []Layer
+	Vias   []ViaRule
+	Site   Site
+}
+
+// NumLayers returns the number of routing layers.
+func (t *Tech) NumLayers() int { return len(t.Layers) }
+
+// Layer returns the layer with the given index; it panics when out of range,
+// which always indicates a programming error upstream.
+func (t *Tech) Layer(i int) Layer {
+	if i < 0 || i >= len(t.Layers) {
+		panic(fmt.Sprintf("tech: layer index %d out of range [0,%d)", i, len(t.Layers)))
+	}
+	return t.Layers[i]
+}
+
+// LayerByName looks up a routing layer by its LEF name.
+func (t *Tech) LayerByName(name string) (Layer, bool) {
+	for _, l := range t.Layers {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return Layer{}, false
+}
+
+// Via returns the via rule below routing layer i+1 (i.e. connecting layer i
+// to i+1), and false when i is the top layer.
+func (t *Tech) Via(below int) (ViaRule, bool) {
+	for _, v := range t.Vias {
+		if v.Below == below {
+			return v, true
+		}
+	}
+	return ViaRule{}, false
+}
+
+// Microns converts a DBU distance to microns for reporting.
+func (t *Tech) Microns(dbu int64) float64 { return float64(dbu) / float64(t.DBU) }
+
+// Validate checks the structural invariants the rest of the flow relies on.
+// It is called by the constructors and by the LEF reader.
+func (t *Tech) Validate() error {
+	if t.DBU <= 0 {
+		return fmt.Errorf("tech %s: DBU must be positive, got %d", t.Name, t.DBU)
+	}
+	if len(t.Layers) < 2 {
+		return fmt.Errorf("tech %s: need at least 2 routing layers, got %d", t.Name, len(t.Layers))
+	}
+	for i, l := range t.Layers {
+		if l.Index != i {
+			return fmt.Errorf("tech %s: layer %q has index %d at position %d", t.Name, l.Name, l.Index, i)
+		}
+		if l.Pitch <= 0 || l.Width <= 0 || l.Spacing < 0 {
+			return fmt.Errorf("tech %s: layer %q has non-physical pitch/width/spacing %d/%d/%d",
+				t.Name, l.Name, l.Pitch, l.Width, l.Spacing)
+		}
+		if l.Width+l.Spacing > l.Pitch {
+			return fmt.Errorf("tech %s: layer %q width+spacing %d exceeds pitch %d (tracks would short)",
+				t.Name, l.Name, l.Width+l.Spacing, l.Pitch)
+		}
+		if i > 0 && t.Layers[i-1].Dir == l.Dir {
+			return fmt.Errorf("tech %s: layers %q and %q share direction %v; directions must alternate",
+				t.Name, t.Layers[i-1].Name, l.Name, l.Dir)
+		}
+	}
+	if len(t.Vias) != len(t.Layers)-1 {
+		return fmt.Errorf("tech %s: want %d via rules for %d layers, got %d",
+			t.Name, len(t.Layers)-1, len(t.Layers), len(t.Vias))
+	}
+	for i, v := range t.Vias {
+		if v.Below != i {
+			return fmt.Errorf("tech %s: via %q below=%d at position %d", t.Name, v.Name, v.Below, i)
+		}
+		if v.CutSize <= 0 {
+			return fmt.Errorf("tech %s: via %q has non-physical cut size %d", t.Name, v.Name, v.CutSize)
+		}
+	}
+	if t.Site.Width <= 0 || t.Site.Height <= 0 {
+		return fmt.Errorf("tech %s: site %q has non-physical size %dx%d",
+			t.Name, t.Site.Name, t.Site.Width, t.Site.Height)
+	}
+	if t.Site.Height%t.Layers[0].Pitch != 0 {
+		return fmt.Errorf("tech %s: row height %d is not a multiple of the M1 pitch %d (pins would be off-track)",
+			t.Name, t.Site.Height, t.Layers[0].Pitch)
+	}
+	return nil
+}
+
+// N45 builds the synthetic 45nm-class node used by crp_test1..crp_test3
+// (Table II marks those circuits as 45nm). Six routing layers, M1 horizontal,
+// alternating directions, pitch growing on the upper metals.
+func N45() *Tech {
+	t := &Tech{
+		Name: "n45",
+		Node: "45nm",
+		DBU:  1000,
+		Site: Site{Name: "coreN45", Width: 380, Height: 2660},
+		Layers: []Layer{
+			{Name: "metal1", Index: 0, Dir: Horizontal, Pitch: 380, Width: 140, Spacing: 140, MinArea: 60200},
+			{Name: "metal2", Index: 1, Dir: Vertical, Pitch: 380, Width: 140, Spacing: 140, MinArea: 60200},
+			{Name: "metal3", Index: 2, Dir: Horizontal, Pitch: 380, Width: 140, Spacing: 140, MinArea: 60200},
+			{Name: "metal4", Index: 3, Dir: Vertical, Pitch: 570, Width: 280, Spacing: 280, MinArea: 120400},
+			{Name: "metal5", Index: 4, Dir: Horizontal, Pitch: 570, Width: 280, Spacing: 280, MinArea: 120400},
+			{Name: "metal6", Index: 5, Dir: Vertical, Pitch: 760, Width: 400, Spacing: 360, MinArea: 240800},
+		},
+		Vias: []ViaRule{
+			{Name: "via12", Below: 0, CutSize: 130},
+			{Name: "via23", Below: 1, CutSize: 130},
+			{Name: "via34", Below: 2, CutSize: 130},
+			{Name: "via45", Below: 3, CutSize: 260},
+			{Name: "via56", Below: 4, CutSize: 260},
+		},
+	}
+	mustValidate(t)
+	return t
+}
+
+// N32 builds the synthetic 32nm-class node used by crp_test4..crp_test10.
+// Eight routing layers and a tighter site grid: denser circuits with more
+// layer-assignment freedom, which is where CR&P's via savings concentrate.
+func N32() *Tech {
+	t := &Tech{
+		Name: "n32",
+		Node: "32nm",
+		DBU:  1000,
+		Site: Site{Name: "coreN32", Width: 280, Height: 1960},
+		Layers: []Layer{
+			{Name: "metal1", Index: 0, Dir: Horizontal, Pitch: 280, Width: 100, Spacing: 100, MinArea: 33600},
+			{Name: "metal2", Index: 1, Dir: Vertical, Pitch: 280, Width: 100, Spacing: 100, MinArea: 33600},
+			{Name: "metal3", Index: 2, Dir: Horizontal, Pitch: 280, Width: 100, Spacing: 100, MinArea: 33600},
+			{Name: "metal4", Index: 3, Dir: Vertical, Pitch: 280, Width: 100, Spacing: 100, MinArea: 33600},
+			{Name: "metal5", Index: 4, Dir: Horizontal, Pitch: 560, Width: 200, Spacing: 200, MinArea: 67200},
+			{Name: "metal6", Index: 5, Dir: Vertical, Pitch: 560, Width: 200, Spacing: 200, MinArea: 67200},
+			{Name: "metal7", Index: 6, Dir: Horizontal, Pitch: 980, Width: 400, Spacing: 400, MinArea: 134400},
+			{Name: "metal8", Index: 7, Dir: Vertical, Pitch: 980, Width: 400, Spacing: 400, MinArea: 134400},
+		},
+		Vias: []ViaRule{
+			{Name: "via12", Below: 0, CutSize: 100},
+			{Name: "via23", Below: 1, CutSize: 100},
+			{Name: "via34", Below: 2, CutSize: 100},
+			{Name: "via45", Below: 3, CutSize: 200},
+			{Name: "via56", Below: 4, CutSize: 200},
+			{Name: "via67", Below: 5, CutSize: 400},
+			{Name: "via78", Below: 6, CutSize: 400},
+		},
+	}
+	mustValidate(t)
+	return t
+}
+
+// ByName returns one of the built-in nodes ("n45" or "n32").
+func ByName(name string) (*Tech, error) {
+	switch name {
+	case "n45":
+		return N45(), nil
+	case "n32":
+		return N32(), nil
+	default:
+		return nil, fmt.Errorf("tech: unknown node %q (want n45 or n32)", name)
+	}
+}
+
+func mustValidate(t *Tech) {
+	if err := t.Validate(); err != nil {
+		panic("tech: built-in node invalid: " + err.Error())
+	}
+}

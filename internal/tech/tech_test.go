@@ -1,0 +1,147 @@
+package tech
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuiltinNodesValidate(t *testing.T) {
+	for _, tc := range []*Tech{N45(), N32()} {
+		if err := tc.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.Name, err)
+		}
+	}
+}
+
+func TestN45Shape(t *testing.T) {
+	n := N45()
+	if n.NumLayers() != 6 {
+		t.Fatalf("N45 layers = %d, want 6", n.NumLayers())
+	}
+	if n.Layers[0].Dir != Horizontal {
+		t.Error("M1 should be horizontal")
+	}
+	for i := 1; i < n.NumLayers(); i++ {
+		if n.Layers[i].Dir == n.Layers[i-1].Dir {
+			t.Errorf("layers %d and %d share a direction", i-1, i)
+		}
+	}
+}
+
+func TestN32Shape(t *testing.T) {
+	n := N32()
+	if n.NumLayers() != 8 {
+		t.Fatalf("N32 layers = %d, want 8", n.NumLayers())
+	}
+	if len(n.Vias) != 7 {
+		t.Fatalf("N32 vias = %d, want 7", len(n.Vias))
+	}
+}
+
+func TestLayerAccessors(t *testing.T) {
+	n := N45()
+	if got := n.Layer(2).Name; got != "metal3" {
+		t.Errorf("Layer(2) = %q", got)
+	}
+	l, ok := n.LayerByName("metal6")
+	if !ok || l.Index != 5 {
+		t.Errorf("LayerByName(metal6) = %+v, %v", l, ok)
+	}
+	if _, ok := n.LayerByName("metal99"); ok {
+		t.Error("LayerByName should miss on unknown name")
+	}
+}
+
+func TestLayerPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Layer(99) should panic")
+		}
+	}()
+	N45().Layer(99)
+}
+
+func TestVia(t *testing.T) {
+	n := N45()
+	v, ok := n.Via(0)
+	if !ok || v.Name != "via12" {
+		t.Errorf("Via(0) = %+v, %v", v, ok)
+	}
+	if _, ok := n.Via(5); ok {
+		t.Error("top layer has no via above it")
+	}
+	if _, ok := n.Via(-1); ok {
+		t.Error("Via(-1) should miss")
+	}
+}
+
+func TestMicrons(t *testing.T) {
+	n := N45()
+	if got := n.Microns(2000); got != 2.0 {
+		t.Errorf("Microns(2000) = %v, want 2.0", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if n, err := ByName("n45"); err != nil || n.Node != "45nm" {
+		t.Errorf("ByName(n45) = %v, %v", n, err)
+	}
+	if n, err := ByName("n32"); err != nil || n.Node != "32nm" {
+		t.Errorf("ByName(n32) = %v, %v", n, err)
+	}
+	if _, err := ByName("n7"); err == nil {
+		t.Error("ByName(n7) should fail")
+	}
+}
+
+func TestValidateCatchesBadTech(t *testing.T) {
+	mk := func() *Tech { return N45() }
+
+	cases := []struct {
+		name    string
+		mutate  func(*Tech)
+		wantSub string
+	}{
+		{"zero dbu", func(tc *Tech) { tc.DBU = 0 }, "DBU"},
+		{"one layer", func(tc *Tech) { tc.Layers = tc.Layers[:1] }, "at least 2"},
+		{"bad index", func(tc *Tech) { tc.Layers[1].Index = 7 }, "index"},
+		{"zero pitch", func(tc *Tech) { tc.Layers[0].Pitch = 0 }, "non-physical"},
+		{"tracks short", func(tc *Tech) { tc.Layers[0].Width = tc.Layers[0].Pitch }, "exceeds pitch"},
+		{"same dir", func(tc *Tech) { tc.Layers[1].Dir = tc.Layers[0].Dir }, "alternate"},
+		{"missing via", func(tc *Tech) { tc.Vias = tc.Vias[:3] }, "via rules"},
+		{"via order", func(tc *Tech) { tc.Vias[0].Below = 2 }, "below"},
+		{"via cut", func(tc *Tech) { tc.Vias[0].CutSize = 0 }, "cut size"},
+		{"bad site", func(tc *Tech) { tc.Site.Width = 0 }, "site"},
+		{"row off track", func(tc *Tech) { tc.Site.Height++ }, "off-track"},
+	}
+	for _, c := range cases {
+		tc := mk()
+		c.mutate(tc)
+		err := tc.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate passed, want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestDirString(t *testing.T) {
+	if Horizontal.String() != "H" || Vertical.String() != "V" {
+		t.Error("Dir.String wrong")
+	}
+}
+
+// Row height must hold an integer number of M1 tracks on every node so that
+// standard-cell pins land on-track — the property Eq. 7/8 legalisation
+// depends on.
+func TestRowHoldsIntegerTracks(t *testing.T) {
+	for _, n := range []*Tech{N45(), N32()} {
+		if n.Site.Height%n.Layers[0].Pitch != 0 {
+			t.Errorf("%s: row height %d not a multiple of M1 pitch %d",
+				n.Name, n.Site.Height, n.Layers[0].Pitch)
+		}
+	}
+}
