@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench-json
+
+## check: the full pre-merge gate — vet, build, race-enabled tests, bench smoke.
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench-smoke: one-shot Fig. 3 breakdown — catches benchmark-harness rot
+## without paying for a real measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig3Breakdown' -benchtime 1x .
+
+## bench-json: regenerate the BENCH_*.json performance snapshot
+## (see EXPERIMENTS.md, "Performance architecture").
+bench-json:
+	$(GO) run ./cmd/benchreport -o BENCH_1.json

@@ -1,0 +1,165 @@
+// Command benchreport measures the estimation fast path (the memoised ECC
+// pipeline of internal/route/global + internal/crp) and writes a BENCH_*.json
+// snapshot: the Fig. 3 flow phase times with the caches off ("before") and on
+// ("after"), plus micro-benchmarks of EstimateTerminalCost in both modes.
+//
+// Usage:
+//
+//	benchreport [-o BENCH_1.json] [-scale 0.004] [-k 10]
+//
+// The cache-off and cache-on flows run the same circuit with the same seeds;
+// the estimation caches are bit-transparent (see DESIGN.md, "Performance
+// architecture"), so the two runs make identical moves and any timing delta
+// is pure cache effect. EXPERIMENTS.md explains how to read the output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/flow"
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/grid"
+	"github.com/crp-eda/crp/internal/ispd"
+	"github.com/crp-eda/crp/internal/route/global"
+)
+
+// phaseSeconds is the Fig. 3 breakdown of one flow run.
+type phaseSeconds struct {
+	TotalS float64 `json:"total_s"`
+	GRS    float64 `json:"gr_s"`
+	GCPS   float64 `json:"gcp_s"`
+	ECCS   float64 `json:"ecc_s"`
+	UDS    float64 `json:"ud_s"`
+	MiscS  float64 `json:"misc_s"`
+	ECCPct float64 `json:"ecc_pct"`
+}
+
+// microResult is one testing.Benchmark measurement.
+type microResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Generated string  `json:"generated"`
+	Scale     float64 `json:"scale"`
+	K         int     `json:"k"`
+	Circuit   string  `json:"circuit"`
+
+	// CacheOff/CacheOn are the Fig. 3 flow with DisableEstimateCache
+	// toggled — the before/after of the memoisation layer, measured on the
+	// same binary so only the caches differ.
+	CacheOff phaseSeconds `json:"cache_off"`
+	CacheOn  phaseSeconds `json:"cache_on"`
+	// ECCSpeedup is CacheOff ECC seconds over CacheOn ECC seconds.
+	ECCSpeedup float64 `json:"ecc_speedup"`
+
+	// Micro-benchmarks of the single-call estimation path (steady state:
+	// cache-on converges to pure hits).
+	EstimateTerminalCostOff microResult `json:"estimate_terminal_cost_cache_off"`
+	EstimateTerminalCostOn  microResult `json:"estimate_terminal_cost_cache_on"`
+}
+
+func phases(t flow.Timings) phaseSeconds {
+	p := phaseSeconds{
+		TotalS: t.Total.Seconds(),
+		GRS:    t.GlobalRoute.Seconds(),
+		GCPS:   t.CRPPhases.GCP.Seconds(),
+		ECCS:   t.CRPPhases.ECC.Seconds(),
+		UDS:    t.CRPPhases.UD.Seconds(),
+		MiscS:  t.CRPPhases.Misc().Seconds(),
+	}
+	if p.TotalS > 0 {
+		p.ECCPct = p.ECCS / p.TotalS * 100
+	}
+	return p
+}
+
+func runFlow(spec ispd.Spec, k int, disableCache bool) (phaseSeconds, error) {
+	d, err := ispd.Generate(spec)
+	if err != nil {
+		return phaseSeconds{}, err
+	}
+	cfg := flow.DefaultConfig()
+	cfg.Global.DisableEstimateCache = disableCache
+	res := flow.RunCRP(d, k, cfg)
+	return phases(res.Timings), nil
+}
+
+func microEstimate(d *db.Design, disableCache bool) microResult {
+	g := grid.New(d, grid.DefaultParams())
+	cfg := global.DefaultConfig()
+	cfg.DisableEstimateCache = disableCache
+	r := global.New(d, g, cfg)
+	r.RouteAll()
+	pts := []geom.Point{g.Center(1, 1), g.Center(8, 3), g.Center(4, 7)}
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.EstimateTerminalCost(pts)
+		}
+	})
+	return microResult{
+		NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+	}
+}
+
+func main() {
+	var (
+		out   = flag.String("o", "BENCH_1.json", "output path")
+		scale = flag.Float64("scale", 0.004, "suite scale (matches CRP_BENCH_SCALE)")
+		k     = flag.Int("k", 10, "CR&P iterations for the flow runs")
+	)
+	flag.Parse()
+
+	spec := ispd.Suite(*scale)[6] // same circuit as BenchmarkFig3Breakdown
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Scale:     *scale,
+		K:         *k,
+		Circuit:   spec.Name,
+	}
+
+	var err error
+	if rep.CacheOff, err = runFlow(spec, *k, true); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if rep.CacheOn, err = runFlow(spec, *k, false); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if rep.CacheOn.ECCS > 0 {
+		rep.ECCSpeedup = rep.CacheOff.ECCS / rep.CacheOn.ECCS
+	}
+
+	md, err := ispd.Generate(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	rep.EstimateTerminalCostOff = microEstimate(md, true)
+	rep.EstimateTerminalCostOn = microEstimate(md, false)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: ECC %0.3fs (cache off) -> %0.3fs (cache on), %.1fx\n",
+		*out, rep.CacheOff.ECCS, rep.CacheOn.ECCS, rep.ECCSpeedup)
+}

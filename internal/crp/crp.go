@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/crp-eda/crp/internal/db"
@@ -143,6 +144,22 @@ type Engine struct {
 	L   *legal.Legalizer
 	Cfg Config
 	rng *rand.Rand
+
+	// est holds one estimation scratch per worker slot; parallelFor hands
+	// every worker a stable index, so phase-3 costing runs allocation-lean
+	// without locking.
+	est []*estScratch
+}
+
+// estScratch is the per-worker working set of Algorithm 3: the candidate's
+// hypothetical moves, the seen-net set, and the terminal point buffer.
+// Move counts and per-cell net counts are tiny, so slices with linear
+// scans replace the former per-candidate maps.
+type estScratch struct {
+	moveID  []int32      // cells the candidate repositions (critical first)
+	movePos []geom.Point // parallel to moveID
+	seen    []int32      // nets already priced for this candidate
+	pts     []geom.Point // terminal positions of the net being priced
 }
 
 // New builds an engine. The router must already hold the initial global
@@ -160,6 +177,10 @@ func New(d *db.Design, g *grid.Grid, r *global.Router, cfg Config) *Engine {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	est := make([]*estScratch, cfg.Workers)
+	for i := range est {
+		est[i] = &estScratch{}
+	}
 	return &Engine{
 		D:   d,
 		G:   g,
@@ -167,6 +188,7 @@ func New(d *db.Design, g *grid.Grid, r *global.Router, cfg Config) *Engine {
 		L:   legal.New(d, cfg.Legal),
 		Cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
+		est: est,
 	}
 }
 
@@ -240,6 +262,12 @@ func (e *Engine) labelCriticalCells() []int32 {
 	inSet := make(map[int32]bool, limit)
 	var critical []int32
 	for _, s := range cells {
+		// The γ·|C| cap is checked before inserting so the set can never
+		// exceed it (it used to run after the append, letting the set
+		// reach limit+1).
+		if len(critical) >= limit {
+			break
+		}
 		// (1) no connected cell may already be critical: moving two
 		// connected cells at once would invalidate Algorithm 3's
 		// one-moving-cell-per-net assumption.
@@ -254,8 +282,9 @@ func (e *Engine) labelCriticalCells() []int32 {
 			continue
 		}
 		// (2)+(3) history damping: previously-labelled cells re-enter
-		// with probability exp(-1) ≈ 36%, previously-moved with
-		// exp(-2) ≈ 13% (both, divided by T).
+		// with probability exp(-1/T), previously-moved with exp(-2/T) —
+		// the simulated-annealing form, T scaling the exponent (at T=1:
+		// ≈36% and ≈13%).
 		hist := 0.0
 		if d.WasCritical(s.id) {
 			hist++
@@ -263,13 +292,10 @@ func (e *Engine) labelCriticalCells() []int32 {
 		if d.WasMoved(s.id) {
 			hist++
 		}
-		accept := math.Exp(-hist) / e.Cfg.T
+		accept := math.Exp(-hist / e.Cfg.T)
 		if accept > e.rng.Float64() {
 			inSet[s.id] = true
 			critical = append(critical, s.id)
-		}
-		if len(critical) > limit {
-			break
 		}
 	}
 	return critical
@@ -300,7 +326,7 @@ func (c *candidate) movedCells() []int32 {
 // output, in parallel over critical cells.
 func (e *Engine) generateCandidates(critical []int32) [][]candidate {
 	out := make([][]candidate, len(critical))
-	e.parallelFor(len(critical), func(i int) {
+	e.parallelFor(len(critical), func(_, i int) {
 		cid := critical[i]
 		cur := e.D.Cells[cid].Pos
 		cands := []candidate{{cell: cid, pos: cur, conflicts: map[int32]geom.Point{}, isCurrent: true}}
@@ -315,54 +341,82 @@ func (e *Engine) generateCandidates(critical []int32) [][]candidate {
 // estimateCosts is Algorithm 3: each candidate's cost is the summed
 // estimated routing cost of every net touching a cell the candidate moves,
 // with the candidate's positions applied hypothetically and every other
-// cell fixed.
+// cell fixed. Each worker prices with its own scratch buffers.
 func (e *Engine) estimateCosts(cands [][]candidate) {
-	e.parallelFor(len(cands), func(i int) {
+	e.parallelFor(len(cands), func(w, i int) {
+		s := e.est[w]
 		for j := range cands[i] {
-			cands[i][j].cost = e.estimateCandidate(&cands[i][j])
+			cands[i][j].cost = e.estimateCandidate(&cands[i][j], s)
 		}
 	})
 }
 
-func (e *Engine) estimateCandidate(c *candidate) float64 {
-	moves := map[int32]geom.Point{c.cell: c.pos}
-	for id, p := range c.conflicts {
-		moves[id] = p
+func (e *Engine) estimateCandidate(c *candidate, s *estScratch) float64 {
+	// The hypothetical moves: the critical cell first, then the conflict
+	// cells in ascending ID order. Fixed order matters — the per-net costs
+	// are summed in discovery order, and float addition is not associative,
+	// so iterating a map here would make the total depend on map iteration
+	// order. (Both cost sums and the seen-set are tiny, so linear scans over
+	// slices also beat the former per-candidate map allocations.)
+	s.moveID = append(s.moveID[:0], c.cell)
+	s.movePos = append(s.movePos[:0], c.pos)
+	for id := range c.conflicts {
+		s.moveID = append(s.moveID, id)
 	}
-	// Collect the union of nets over all moved cells, costing each once.
-	seen := map[int32]bool{}
+	rest := s.moveID[1:]
+	sort.Slice(rest, func(a, b int) bool { return rest[a] < rest[b] })
+	for _, id := range rest {
+		s.movePos = append(s.movePos, c.conflicts[id])
+	}
+	// Cost the union of nets over all moved cells, each net once.
+	s.seen = s.seen[:0]
 	total := 0.0
-	for id := range moves {
+	for _, id := range s.moveID {
 		for _, nid := range e.D.Cells[id].Nets {
-			if seen[nid] {
+			dup := false
+			for _, sn := range s.seen {
+				if sn == nid {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			seen[nid] = true
-			total += e.estimateNet(nid, moves)
+			s.seen = append(s.seen, nid)
+			total += e.estimateNet(nid, s)
 		}
 	}
 	return total
 }
 
-// estimateNet prices one net with some cells hypothetically moved.
-func (e *Engine) estimateNet(nid int32, moves map[int32]geom.Point) float64 {
+// estimateNet prices one net with the scratch's cells hypothetically moved.
+func (e *Engine) estimateNet(nid int32, s *estScratch) float64 {
 	n := e.D.Nets[nid]
-	pts := make([]geom.Point, 0, n.Degree())
+	pts := s.pts[:0]
 	for _, pr := range n.Pins {
 		c := e.D.Cells[pr.Cell]
-		if p, ok := moves[pr.Cell]; ok {
-			orient := c.Orient
-			if row, okr := e.D.RowAt(p.Y); okr {
-				orient = row.Orient
+		moved := false
+		for k, id := range s.moveID {
+			if id == pr.Cell {
+				p := s.movePos[k]
+				orient := c.Orient
+				if row, okr := e.D.RowAt(p.Y); okr {
+					orient = row.Orient
+				}
+				pts = append(pts, e.D.PinPositionAt(c, pr.Pin, p, orient))
+				moved = true
+				break
 			}
-			pts = append(pts, e.D.PinPositionAt(c, pr.Pin, p, orient))
-		} else {
+		}
+		if !moved {
 			pts = append(pts, e.D.PinPosition(c, pr.Pin))
 		}
 	}
 	for _, io := range n.IOs {
 		pts = append(pts, io.Pos)
 	}
+	s.pts = pts
 	if e.Cfg.CostMode == LengthOnly {
 		tree := steiner.Build(pts)
 		return float64(tree.Length())
@@ -370,29 +424,38 @@ func (e *Engine) estimateNet(nid int32, moves map[int32]geom.Point) float64 {
 	return e.R.EstimateTerminalCost(pts)
 }
 
-// parallelFor runs fn(i) for i in [0,n) on the worker pool.
-func (e *Engine) parallelFor(n int, fn func(int)) {
+// parallelFor runs fn(worker, i) for i in [0,n) on the worker pool. Work is
+// claimed in chunks off an atomic counter instead of being pushed one index
+// at a time through an unbuffered channel: claiming costs one uncontended
+// atomic add per chunk rather than a channel rendezvous per index, and the
+// stable worker index lets callers keep per-worker scratch state.
+func (e *Engine) parallelFor(n int, fn func(worker, i int)) {
 	workers := min(e.Cfg.Workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
+	// ~4 chunks per worker balances claim overhead against tail imbalance
+	// from uneven per-index work.
+	chunk := max(1, n/(workers*4))
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range next {
-				fn(i)
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				for i := start; i < min(start+chunk, n); i++ {
+					fn(w, i)
+				}
 			}
-		}()
+		}(w)
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }

@@ -109,7 +109,7 @@ func TestGammaCapsCriticalSet(t *testing.T) {
 			movable++
 		}
 	}
-	limit := int(0.05*float64(movable)) + 1 // cap is checked after insert
+	limit := int(0.05 * float64(movable)) // cap is checked before insert
 	if len(critical) > limit {
 		t.Errorf("critical set %d exceeds gamma cap %d", len(critical), limit)
 	}
@@ -279,6 +279,22 @@ func BenchmarkIterate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Iterate()
+	}
+}
+
+// BenchmarkECCEstimateCosts isolates phase 3 (Algorithm 3), the Fig. 3 hot
+// spot the estimation caches target: candidates are generated once, then
+// each iteration re-prices all of them at fixed grid demand. Run with
+// -benchmem to see the allocation profile of the fast path.
+func BenchmarkECCEstimateCosts(b *testing.B) {
+	d, g, r := fixture(b, 400, 350, 20)
+	e := New(d, g, r, smallConfig(1))
+	critical := e.labelCriticalCells()
+	cands := e.generateCandidates(critical)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.estimateCosts(cands)
 	}
 }
 

@@ -73,7 +73,18 @@ type Grid struct {
 	wire  [][]float64 // U_w wire usage
 	fixed [][]float64 // U_f fixed usage
 	vias  [][]float64 // [layer][gcell] vias between layer and layer+1 (len NL-1)
+
+	// epoch counts demand mutations (AddWire/AddVia). Everything that
+	// feeds Eq. 9/10 — and therefore every edge cost — is frozen while the
+	// epoch is unchanged, so cost caches key their validity on it.
+	epoch uint64
 }
+
+// Epoch returns the demand epoch: it advances on every AddWire/AddVia, so
+// any cost computed at epoch E stays valid exactly as long as Epoch() == E.
+// Seeding during New (fixed usage, pin vias) happens before the grid is
+// shared, so the initial epoch value is immaterial to cache correctness.
+func (g *Grid) Epoch() uint64 { return g.epoch }
 
 // New builds the grid for a design: sizes the GCell lattice, derives edge
 // capacities from track counts, seeds fixed usage from obstacles, and seeds
@@ -252,6 +263,7 @@ func (g *Grid) FixedUsage(x, y, l int) float64 { return g.fixed[l][g.idx(x, y)] 
 // Negative deltas rip up previously committed usage.
 func (g *Grid) AddWire(x, y, l int, delta float64) {
 	i := g.idx(x, y)
+	g.epoch++
 	g.wire[l][i] += delta
 	if g.wire[l][i] < 0 {
 		// Rip-up must never exceed what was committed; clamping hides an
@@ -271,6 +283,7 @@ func (g *Grid) ViaCount(x, y, l int) float64 {
 // AddVia adjusts the via count between layers l and l+1 at GCell (x,y).
 func (g *Grid) AddVia(x, y, l int, delta float64) {
 	i := g.idx(x, y)
+	g.epoch++
 	g.vias[l][i] += delta
 	if g.vias[l][i] < -1e-9 {
 		panic(fmt.Sprintf("grid: via count at (%d,%d,l%d) went negative", x, y, l))

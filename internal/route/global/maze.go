@@ -94,14 +94,13 @@ func (r *Router) mazeRoute(a, b geom.Point) *path {
 	h := pq{}
 	visit(src, 0, -1)
 	h.push(heapItem{0, src})
-	settled := map[int32]bool{}
 
 	for len(h) > 0 {
 		it := h.pop()
-		if settled[it.node] {
+		if r.settled[it.node] == gen {
 			continue
 		}
-		settled[it.node] = true
+		r.settled[it.node] = gen
 		if it.node == dst {
 			break
 		}

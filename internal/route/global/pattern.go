@@ -7,6 +7,17 @@ import (
 	"github.com/crp-eda/crp/internal/tech"
 )
 
+// junctionSeq is one planar candidate path as a junction-point sequence
+// (consecutive points axis-aligned). L and Z shapes never need more than
+// four junctions, so the points live inline and candidate enumeration is
+// allocation-free.
+type junctionSeq struct {
+	pts [4]geom.Point
+	n   int
+}
+
+func (j *junctionSeq) points() []geom.Point { return j.pts[:j.n] }
+
 // patternRoute connects GCells a and b with the cheapest L- or Z-shaped
 // path, assigning each straight run to a routing layer by dynamic
 // programming over junction layers. Both endpoints are connected down to
@@ -15,51 +26,69 @@ import (
 // stack. Returns the materialised path, its cost, and the worst projected
 // congestion ratio along it; path is nil when no finite-cost candidate
 // exists.
+//
+// Candidates are first priced with the cost-only DP and only the winner is
+// materialised, so the losing candidates never allocate. Serial use only
+// (it borrows the Router's pooled scratch once); the estimation path uses
+// patternCost directly.
 func (r *Router) patternRoute(a, b geom.Point) (*path, float64, float64) {
-	cands := r.candidateJunctions(a, b)
-	var best *path
-	bestCost := math.Inf(1)
-	for _, js := range cands {
-		p, cost := r.assignLayers(js)
-		if p != nil && cost < bestCost {
-			best = p
-			bestCost = cost
+	s := r.getScratch()
+	defer r.putScratch(s)
+	s.cands = r.candidateJunctions(s.cands[:0], a, b)
+	bestIdx, bestCost := -1, math.Inf(1)
+	for i := range s.cands {
+		if c := r.layerCost(s.cands[i].points(), s); c < bestCost {
+			bestIdx, bestCost = i, c
 		}
 	}
-	if best == nil {
+	if bestIdx < 0 {
 		return nil, math.Inf(1), math.Inf(1)
 	}
+	best, _ := r.assignLayers(s.cands[bestIdx].points())
 	return best, bestCost, r.worstCongestion(best)
 }
 
-// candidateJunctions enumerates planar candidate paths as junction-point
-// sequences (consecutive points axis-aligned): the straight/L shapes plus
-// sampled Z shapes.
-func (r *Router) candidateJunctions(a, b geom.Point) [][]geom.Point {
-	var out [][]geom.Point
+// patternCost is the cost-only patternRoute: the minimum layer-assigned
+// cost over the same candidate set, +Inf when none is realisable. It runs
+// the identical float computations in the identical order, so its result is
+// bit-equal to patternRoute's cost — without materialising any path.
+func (r *Router) patternCost(a, b geom.Point, s *estScratch) float64 {
+	s.cands = r.candidateJunctions(s.cands[:0], a, b)
+	best := math.Inf(1)
+	for i := range s.cands {
+		if c := r.layerCost(s.cands[i].points(), s); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// candidateJunctions appends the planar candidate paths between a and b to
+// dst: the straight/L shapes plus sampled Z shapes.
+func (r *Router) candidateJunctions(dst []junctionSeq, a, b geom.Point) []junctionSeq {
 	if a == b {
-		return [][]geom.Point{{a}}
+		return append(dst, junctionSeq{pts: [4]geom.Point{a}, n: 1})
 	}
 	if a.X == b.X || a.Y == b.Y {
-		return [][]geom.Point{{a, b}}
+		return append(dst, junctionSeq{pts: [4]geom.Point{a, b}, n: 2})
 	}
 	// Two L shapes.
-	out = append(out,
-		[]geom.Point{a, geom.Pt(b.X, a.Y), b},
-		[]geom.Point{a, geom.Pt(a.X, b.Y), b},
+	dst = append(dst,
+		junctionSeq{pts: [4]geom.Point{a, geom.Pt(b.X, a.Y), b}, n: 3},
+		junctionSeq{pts: [4]geom.Point{a, geom.Pt(a.X, b.Y), b}, n: 3},
 	)
 	// Z shapes with sampled interior bends.
 	for s := 1; s <= r.Cfg.ZSamples; s++ {
 		fx := a.X + (b.X-a.X)*s/(r.Cfg.ZSamples+1)
 		if fx != a.X && fx != b.X {
-			out = append(out, []geom.Point{a, geom.Pt(fx, a.Y), geom.Pt(fx, b.Y), b})
+			dst = append(dst, junctionSeq{pts: [4]geom.Point{a, geom.Pt(fx, a.Y), geom.Pt(fx, b.Y), b}, n: 4})
 		}
 		fy := a.Y + (b.Y-a.Y)*s/(r.Cfg.ZSamples+1)
 		if fy != a.Y && fy != b.Y {
-			out = append(out, []geom.Point{a, geom.Pt(a.X, fy), geom.Pt(b.X, fy), b})
+			dst = append(dst, junctionSeq{pts: [4]geom.Point{a, geom.Pt(a.X, fy), geom.Pt(b.X, fy), b}, n: 4})
 		}
 	}
-	return out
+	return dst
 }
 
 // run is one straight stretch of a planar path.
@@ -69,8 +98,8 @@ type run struct {
 	to   geom.Point // end GCell (axis-aligned with from)
 }
 
-func runsOf(junctions []geom.Point) []run {
-	var rs []run
+// runsOf appends junctions' straight runs to dst.
+func runsOf(dst []run, junctions []geom.Point) []run {
 	for i := 1; i < len(junctions); i++ {
 		p, q := junctions[i-1], junctions[i]
 		if p == q {
@@ -80,9 +109,9 @@ func runsOf(junctions []geom.Point) []run {
 		if p.X == q.X {
 			d = tech.Vertical
 		}
-		rs = append(rs, run{dir: d, from: p, to: q})
+		dst = append(dst, run{dir: d, from: p, to: q})
 	}
-	return rs
+	return dst
 }
 
 // runEdges lists the planar edges (leaving-GCell convention) along a run on
@@ -110,18 +139,37 @@ func runEdges(rn run, l int) []geom.Point3 {
 }
 
 // runCost prices a run on layer l; +Inf when the layer's direction does not
-// match or an edge is missing.
+// match or an edge is missing. Edges are walked in leaving-GCell order
+// without materialising them.
 func (r *Router) runCost(rn run, l int) float64 {
 	if l <= 0 || l >= r.G.NL || r.G.Tech.Layer(l).Dir != rn.dir {
 		return math.Inf(1)
 	}
 	cost := 0.0
-	for _, e := range runEdges(rn, l) {
-		c := r.G.WireEdgeCost(e.X, e.Y, e.L)
-		if math.IsInf(c, 1) {
-			return c
+	if rn.dir == tech.Horizontal {
+		x0, x1 := rn.from.X, rn.to.X
+		if x0 > x1 {
+			x0, x1 = x1, x0
 		}
-		cost += c
+		for x := x0; x < x1; x++ {
+			c := r.G.WireEdgeCost(x, rn.from.Y, l)
+			if math.IsInf(c, 1) {
+				return c
+			}
+			cost += c
+		}
+	} else {
+		y0, y1 := rn.from.Y, rn.to.Y
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		for y := y0; y < y1; y++ {
+			c := r.G.WireEdgeCost(rn.from.X, y, l)
+			if math.IsInf(c, 1) {
+				return c
+			}
+			cost += c
+		}
 	}
 	return cost
 }
@@ -153,10 +201,67 @@ func stackVias(p geom.Point, l1, l2 int) []geom.Point3 {
 	return out
 }
 
+// layerCost runs the junction-layer DP over a planar candidate path and
+// returns the best realisable cost without reconstructing the realisation.
+// It is the cost half of assignLayers with rolling DP rows borrowed from
+// the scratch — the per-state arithmetic is expression-for-expression the
+// same, so the returned float is bit-equal to assignLayers' cost.
+func (r *Router) layerCost(junctions []geom.Point, s *estScratch) float64 {
+	s.runs = runsOf(s.runs[:0], junctions)
+	rs := s.runs
+	NL := r.G.NL
+	if len(rs) == 0 {
+		// Single-GCell connection: no wires, no vias.
+		return 0
+	}
+	prev, curr := s.dpa, s.dpb
+	start := junctions[0]
+	for l := 1; l < NL; l++ {
+		prev[l] = math.Inf(1)
+		rc := r.runCost(rs[0], l)
+		if math.IsInf(rc, 1) {
+			continue
+		}
+		prev[l] = r.stackCost(start, 0, l) + rc
+	}
+	for i := 1; i < len(rs); i++ {
+		junction := rs[i].from
+		for l := 1; l < NL; l++ {
+			curr[l] = math.Inf(1)
+			rc := r.runCost(rs[i], l)
+			if math.IsInf(rc, 1) {
+				continue
+			}
+			for pl := 1; pl < NL; pl++ {
+				if math.IsInf(prev[pl], 1) {
+					continue
+				}
+				c := prev[pl] + r.stackCost(junction, pl, l) + rc
+				if c < curr[l] {
+					curr[l] = c
+				}
+			}
+		}
+		prev, curr = curr, prev
+	}
+	end := rs[len(rs)-1].to
+	best := math.Inf(1)
+	for l := 1; l < NL; l++ {
+		if math.IsInf(prev[l], 1) {
+			continue
+		}
+		c := prev[l] + r.stackCost(end, l, 0)
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
 // assignLayers runs the junction-layer DP over a planar candidate path and
 // materialises the best 3D realisation. Endpoints connect to layer 0.
 func (r *Router) assignLayers(junctions []geom.Point) (*path, float64) {
-	rs := runsOf(junctions)
+	rs := runsOf(nil, junctions)
 	NL := r.G.NL
 	if len(rs) == 0 {
 		// Single-GCell connection: no wires, no vias (pin stack is

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/crp-eda/crp/internal/db"
 	"github.com/crp-eda/crp/internal/geom"
@@ -57,6 +58,11 @@ type Config struct {
 	// congestion prices after RRR, the way CUGR's later phases revisit
 	// early nets that were routed against an empty (mispriced) grid.
 	FinalReroutePasses int
+	// DisableEstimateCache turns off the epoch-validated estimation caches
+	// (two-pin segment costs, Steiner topologies, per-net committed costs).
+	// Results are bit-identical either way — the flag exists so benchmarks
+	// and correctness tests can compare against the cache-free path.
+	DisableEstimateCache bool
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -74,10 +80,27 @@ type Router struct {
 	Routes []*Route
 
 	// Scratch buffers for the maze router, reused across calls.
-	dist []float64
-	prev []int32
-	seen []uint32
-	gen  uint32
+	dist    []float64
+	prev    []int32
+	seen    []uint32
+	settled []uint32
+	gen     uint32
+
+	// bld accumulates path segments while committing a net (serial paths
+	// only, like the maze scratch above).
+	bld builder
+
+	// Estimation fast path: pooled per-call scratch plus the sharded,
+	// epoch-validated caches (see estcache.go). Safe under concurrent
+	// EstimateTerminalCost calls from CR&P's worker pool.
+	scratch sync.Pool
+	segs    segCache
+	trees   treeCache
+
+	// Committed-route cost memo for NetCost (serial paths): value is valid
+	// while netCostEpoch[id] == G.Epoch()+1; 0 marks an invalid entry.
+	netCost      []float64
+	netCostEpoch []uint64
 }
 
 // New creates a router over an existing design and grid.
@@ -86,15 +109,20 @@ func New(d *db.Design, g *grid.Grid, cfg Config) *Router {
 		cfg.ZSamples = 0
 	}
 	n := g.NX * g.NY * g.NL
-	return &Router{
-		D:      d,
-		G:      g,
-		Cfg:    cfg,
-		Routes: make([]*Route, len(d.Nets)),
-		dist:   make([]float64, n),
-		prev:   make([]int32, n),
-		seen:   make([]uint32, n),
+	r := &Router{
+		D:            d,
+		G:            g,
+		Cfg:          cfg,
+		Routes:       make([]*Route, len(d.Nets)),
+		dist:         make([]float64, n),
+		prev:         make([]int32, n),
+		seen:         make([]uint32, n),
+		settled:      make([]uint32, n),
+		netCost:      make([]float64, len(d.Nets)),
+		netCostEpoch: make([]uint64, len(d.Nets)),
 	}
+	r.scratch.New = func() any { return &estScratch{} }
+	return r
 }
 
 // Stats summarises a routing run.
@@ -209,6 +237,10 @@ func (r *Router) Commit(rt *Route) {
 		r.G.AddVia(v.X, v.Y, v.L, 1)
 	}
 	r.Routes[rt.NetID] = rt
+	// Demand mutations advanced the grid epoch, which lazily invalidates
+	// every cost cache; a resource-free route leaves the epoch alone, so
+	// this net's own memo must be dropped explicitly.
+	r.netCostEpoch[rt.NetID] = 0
 }
 
 // RipUp removes a net's committed demand and returns the old route (nil if
@@ -225,16 +257,25 @@ func (r *Router) RipUp(id int32) *Route {
 		r.G.AddVia(v.X, v.Y, v.L, -1)
 	}
 	r.Routes[id] = nil
+	r.netCostEpoch[id] = 0
 	return rt
 }
 
 // NetCost evaluates the committed route of a net at current grid prices
 // (Eq. 10). Unrouted and resource-free nets cost zero. This is the cost
-// CR&P's Algorithm 1 sorts cells by.
+// CR&P's Algorithm 1 sorts cells by — it queries the same net once per
+// incident cell, and the reroute schedulers sort by it, so the value is
+// memoised per net until the grid epoch or the route changes. Serial use
+// only (it shares the Router's serial scratch discipline).
 func (r *Router) NetCost(id int32) float64 {
 	rt := r.Routes[id]
 	if rt == nil {
 		return 0
+	}
+	// Epoch 0 could not collide with a valid stamp: stamps store epoch+1.
+	stamp := r.G.Epoch() + 1
+	if !r.Cfg.DisableEstimateCache && r.netCostEpoch[id] == stamp {
+		return r.netCost[id]
 	}
 	cost := 0.0
 	for _, w := range rt.Wires {
@@ -243,6 +284,8 @@ func (r *Router) NetCost(id int32) float64 {
 	for _, v := range rt.Vias {
 		cost += r.G.ViaEdgeCost(v.X, v.Y, v.L)
 	}
+	r.netCost[id] = cost
+	r.netCostEpoch[id] = stamp
 	return cost
 }
 
@@ -299,17 +342,28 @@ func (r *Router) netTerminals(id int32) []geom.Point {
 }
 
 func (r *Router) gcellsOf(pts []geom.Point) []geom.Point {
-	out := make([]geom.Point, 0, len(pts))
-	seen := make(map[geom.Point]bool, len(pts))
+	return r.gcellsInto(make([]geom.Point, 0, len(pts)), pts)
+}
+
+// gcellsInto appends the first-occurrence-ordered, deduplicated GCells of
+// pts to dst. Terminal counts are small (net degree), so a linear scan
+// beats a map and allocates nothing.
+func (r *Router) gcellsInto(dst []geom.Point, pts []geom.Point) []geom.Point {
 	for _, p := range pts {
 		x, y := r.G.GCellOf(p)
 		gp := geom.Pt(x, y)
-		if !seen[gp] {
-			seen[gp] = true
-			out = append(out, gp)
+		dup := false
+		for _, q := range dst {
+			if q == gp {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, gp)
 		}
 	}
-	return out
+	return dst
 }
 
 // routeNet computes a route for the net at the current placement without
@@ -319,9 +373,11 @@ func (r *Router) routeNet(id int32) (*Route, bool) {
 }
 
 // routeTerminals routes a terminal set: Steiner topology, then pattern
-// routing per segment with maze fallback.
+// routing per segment with maze fallback. Serial use only (it reuses the
+// Router's builder scratch).
 func (r *Router) routeTerminals(id int32, gcells []geom.Point) (*Route, bool) {
-	b := newBuilder()
+	b := &r.bld
+	b.reset()
 	if len(gcells) < 2 {
 		return b.route(id), false
 	}
@@ -355,36 +411,38 @@ func (r *Router) routeTerminals(id int32, gcells []geom.Point) (*Route, bool) {
 // EstimateTerminalCost is the paper's fast 3D pattern route (Algorithm 3):
 // it prices a hypothetical terminal set at current grid costs without
 // committing anything. Only pattern routing is used, matching the paper.
+//
+// This is CR&P's ECC hot path, so it runs entirely on pooled scratch and
+// the epoch-validated caches: the Steiner topology is memoised per ordered
+// terminal-set key and every two-pin segment cost per GCell pair (see
+// estcache.go). Safe for concurrent use.
+//
+// A segment no pattern can realise contributes +Inf, exactly as the
+// pre-cache code did: the forced-L fallback prices the horizontal-first L,
+// which is one of the candidates the pattern search already rejected as
+// unrealisable, so the fallback could never produce a finite cost here.
 func (r *Router) EstimateTerminalCost(pts []geom.Point) float64 {
-	gcells := r.gcellsOf(pts)
-	if len(gcells) < 2 {
+	s := r.getScratch()
+	defer r.putScratch(s)
+	s.gcells = r.gcellsInto(s.gcells[:0], pts)
+	if len(s.gcells) < 2 {
 		return 0
 	}
-	tree := steiner.Build(gcells)
+	tree := r.cachedSteiner(s.gcells, s)
 	total := 0.0
 	for _, e := range tree.Edges {
 		a, c := tree.Nodes[e[0]], tree.Nodes[e[1]]
-		path, cost, _ := r.patternRoute(a, c)
-		if path == nil {
-			if fp := r.forcedL(a, c); fp != nil {
-				cost = r.pathCost(fp)
-			} else {
-				cost = math.Inf(1)
-			}
-		}
-		total += cost
+		total += r.segmentEstimate(a, c, s)
 	}
 	return total
 }
 
-// builder accumulates path segments into a deduplicated route.
+// builder accumulates path segments into a deduplicated route. The append
+// buffers persist on the Router between nets; route() sorts, dedups, and
+// copies out exact-size slices.
 type builder struct {
-	wires map[geom.Point3]struct{}
-	vias  map[geom.Point3]struct{}
-}
-
-func newBuilder() *builder {
-	return &builder{wires: map[geom.Point3]struct{}{}, vias: map[geom.Point3]struct{}{}}
+	wires []geom.Point3
+	vias  []geom.Point3
 }
 
 // path is a routed two-pin connection.
@@ -393,26 +451,35 @@ type path struct {
 	vias  []geom.Point3
 }
 
+func (b *builder) reset() {
+	b.wires = b.wires[:0]
+	b.vias = b.vias[:0]
+}
+
 func (b *builder) add(p *path) {
-	for _, w := range p.wires {
-		b.wires[w] = struct{}{}
-	}
-	for _, v := range p.vias {
-		b.vias[v] = struct{}{}
-	}
+	b.wires = append(b.wires, p.wires...)
+	b.vias = append(b.vias, p.vias...)
 }
 
 func (b *builder) route(id int32) *Route {
-	rt := &Route{NetID: id}
-	for w := range b.wires {
-		rt.Wires = append(rt.Wires, w)
+	return &Route{NetID: id, Wires: dedupPoint3s(b.wires), Vias: dedupPoint3s(b.vias)}
+}
+
+// dedupPoint3s sorts ps in place and returns a fresh slice of the unique
+// elements (nil when empty — Route fields stay nil for resource-free nets,
+// as the map-based builder produced).
+func dedupPoint3s(ps []geom.Point3) []geom.Point3 {
+	if len(ps) == 0 {
+		return nil
 	}
-	for v := range b.vias {
-		rt.Vias = append(rt.Vias, v)
+	sortPoint3s(ps)
+	out := make([]geom.Point3, 0, len(ps))
+	for i, p := range ps {
+		if i == 0 || p != ps[i-1] {
+			out = append(out, p)
+		}
 	}
-	sortPoint3s(rt.Wires)
-	sortPoint3s(rt.Vias)
-	return rt
+	return out
 }
 
 func sortPoint3s(ps []geom.Point3) {
