@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-json
+.PHONY: check vet build test race bench-smoke bench-json fuzz-smoke chaos
 
-## check: the full pre-merge gate — vet, build, race-enabled tests, bench smoke.
-check: vet build race bench-smoke
+## check: the full pre-merge gate — vet, build, race-enabled tests, bench
+## smoke, chaos suite, fuzz smoke.
+check: vet build race bench-smoke chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,3 +27,20 @@ bench-smoke:
 ## (see EXPERIMENTS.md, "Performance architecture").
 bench-json:
 	$(GO) run ./cmd/benchreport -o BENCH_1.json
+
+## chaos: the fault-injection suite — every fault class must complete with
+## degraded-mode stats and a legal design; zero faults must be bit-identical
+## (see EXPERIMENTS.md, "Fault-injection runbook").
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/flow
+	$(GO) test -race -count=1 -run 'TestSelectFallback|TestSelectExpiredDeadline' ./internal/crp
+	$(GO) test -race -count=1 ./internal/faultinject
+
+## fuzz-smoke: short coverage-guided runs of every fuzz target (one -fuzz
+## per invocation — the go tool allows a single target at a time). The
+## minimize cap keeps a new-coverage find from eating the whole budget.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test ./internal/lefdef -fuzz 'FuzzParseLEF$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
+	$(GO) test ./internal/lefdef -fuzz 'FuzzParseDEF$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
+	$(GO) test ./internal/lefdef -fuzz 'FuzzDEFRoundTrip$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x

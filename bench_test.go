@@ -16,6 +16,7 @@
 package crpbench
 
 import (
+	"context"
 	"io"
 	"os"
 	"strconv"
@@ -92,7 +93,7 @@ func BenchmarkFig2Runtime(b *testing.B) {
 			b.StopTimer()
 			d := newDesign(b)
 			b.StartTimer()
-			flow.RunBaseline(d, cfg)
+			flow.RunBaseline(context.Background(), d, cfg)
 		}
 	})
 	b.Run("sota18", func(b *testing.B) {
@@ -100,7 +101,7 @@ func BenchmarkFig2Runtime(b *testing.B) {
 			b.StopTimer()
 			d := newDesign(b)
 			b.StartTimer()
-			flow.RunSOTA(d, cfg)
+			flow.RunSOTA(context.Background(), d, cfg)
 		}
 	})
 	b.Run("crp_k1", func(b *testing.B) {
@@ -108,7 +109,7 @@ func BenchmarkFig2Runtime(b *testing.B) {
 			b.StopTimer()
 			d := newDesign(b)
 			b.StartTimer()
-			flow.RunCRP(d, 1, cfg)
+			flow.RunCRP(context.Background(), d, 1, cfg)
 		}
 	})
 	b.Run("crp_k10", func(b *testing.B) {
@@ -116,7 +117,7 @@ func BenchmarkFig2Runtime(b *testing.B) {
 			b.StopTimer()
 			d := newDesign(b)
 			b.StartTimer()
-			flow.RunCRP(d, 10, cfg)
+			flow.RunCRP(context.Background(), d, 10, cfg)
 		}
 	})
 }
@@ -134,7 +135,7 @@ func BenchmarkFig3Breakdown(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		res := flow.RunCRP(d, 10, cfg)
+		res := flow.RunCRP(context.Background(), d, 10, cfg)
 		t = res.Timings
 	}
 	total := t.Total.Seconds()
@@ -162,13 +163,13 @@ func ablationRun(b *testing.B, mutate func(*crp.Config)) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		base := flow.RunBaseline(d1, flow.DefaultConfig())
+		base := flow.RunBaseline(context.Background(), d1, flow.DefaultConfig())
 		d2, err := ispd.Generate(spec)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		res := flow.RunCRP(d2, 5, cfg)
+		res := flow.RunCRP(context.Background(), d2, 5, cfg)
 		viaImp = eval.Compare(base.Metrics, res.Metrics).ViasPct
 	}
 	b.ReportMetric(viaImp, "viaImp%")

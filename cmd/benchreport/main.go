@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -89,7 +90,7 @@ func runFlow(spec ispd.Spec, k int, disableCache bool) (phaseSeconds, error) {
 	}
 	cfg := flow.DefaultConfig()
 	cfg.Global.DisableEstimateCache = disableCache
-	res := flow.RunCRP(d, k, cfg)
+	res := flow.RunCRP(context.Background(), d, k, cfg)
 	return phases(res.Timings), nil
 }
 

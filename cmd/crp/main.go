@@ -6,16 +6,22 @@
 // Usage:
 //
 //	crp -lef design.lef -def design.def [-k 10] [-out out.def] [-guide out.guide]
+//	    [-timeout 10m] [-iter-timeout 30s]
 //
 // Without -out/-guide the flow still runs and prints the metrics, so the
-// command doubles as an evaluator for the CR&P flow.
+// command doubles as an evaluator for the CR&P flow. With -timeout or
+// -iter-timeout the run degrades instead of hanging: on deadline the
+// best-so-far DEF/guide outputs are still written, the degradations are
+// printed, and the command exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"github.com/crp-eda/crp/internal/eval"
 	"github.com/crp-eda/crp/internal/flow"
@@ -26,17 +32,19 @@ import (
 
 func main() {
 	var (
-		lefPath   = flag.String("lef", "", "technology + macro library (LEF subset)")
-		defPath   = flag.String("def", "", "design (DEF subset)")
-		k         = flag.Int("k", 10, "CR&P iterations")
-		outDEF    = flag.String("out", "", "write the post-CR&P placement DEF here")
-		outGuide  = flag.String("guide", "", "write the route guides here")
-		gamma     = flag.Float64("gamma", 0.6, "critical-set fraction (Algorithm 1)")
-		seed      = flag.Int64("seed", 1, "selection seed")
-		baseline  = flag.Bool("baseline", false, "skip CR&P: plain GR+DR flow")
-		showPhase = flag.Bool("phases", false, "print the CR&P phase breakdown")
-		heat      = flag.Bool("congestion", false, "print the post-flow congestion heatmap")
-		worst     = flag.Int("worst", 0, "print the N most expensive nets after routing")
+		lefPath     = flag.String("lef", "", "technology + macro library (LEF subset)")
+		defPath     = flag.String("def", "", "design (DEF subset)")
+		k           = flag.Int("k", 10, "CR&P iterations")
+		outDEF      = flag.String("out", "", "write the post-CR&P placement DEF here")
+		outGuide    = flag.String("guide", "", "write the route guides here")
+		gamma       = flag.Float64("gamma", 0.6, "critical-set fraction (Algorithm 1)")
+		seed        = flag.Int64("seed", 1, "selection seed")
+		baseline    = flag.Bool("baseline", false, "skip CR&P: plain GR+DR flow")
+		showPhase   = flag.Bool("phases", false, "print the CR&P phase breakdown")
+		heat        = flag.Bool("congestion", false, "print the post-flow congestion heatmap")
+		worst       = flag.Int("worst", 0, "print the N most expensive nets after routing")
+		timeout     = flag.Duration("timeout", time.Duration(0), "whole-flow wall-clock budget (0 = unlimited)")
+		iterTimeout = flag.Duration("iter-timeout", time.Duration(0), "per-CR&P-iteration budget (0 = unlimited)")
 	)
 	flag.Parse()
 	if *lefPath == "" || *defPath == "" {
@@ -70,9 +78,12 @@ func main() {
 	cfg := flow.DefaultConfig()
 	cfg.CRP.Gamma = *gamma
 	cfg.CRP.Seed = *seed
+	cfg.Budgets.Flow = *timeout
+	cfg.Budgets.CRPIteration = *iterTimeout
+	ctx := context.Background()
 
 	if *baseline {
-		res := flow.RunBaseline(d, cfg)
+		res := flow.RunBaseline(ctx, d, cfg)
 		fmt.Printf("baseline: %v\n", res.Metrics)
 		fmt.Printf("runtime: GR %.2fs, DR %.2fs\n",
 			res.Timings.GlobalRoute.Seconds(), res.Timings.DetailRoute.Seconds())
@@ -81,6 +92,10 @@ func main() {
 			if err := eval.WriteNetReport(os.Stdout, d, res.Metrics, *worst); err != nil {
 				fatal(err)
 			}
+		}
+		reportDegradations(res)
+		if res.DeadlineHit() {
+			os.Exit(1)
 		}
 		return
 	}
@@ -103,7 +118,9 @@ func main() {
 		guideW = f
 		files = append(files, f)
 	}
-	res, err := flow.RunCRPWithOutputs(d, *k, cfg, defW, guideW)
+	// RunCRPWithOutputs writes the DEF/guides even on a degraded run, so a
+	// deadline still yields the best-so-far outputs before the non-zero exit.
+	res, err := flow.RunCRPWithOutputs(ctx, d, *k, cfg, defW, guideW)
 	if err != nil {
 		fatal(err)
 	}
@@ -151,6 +168,22 @@ func main() {
 	}
 	if *outGuide != "" {
 		fmt.Printf("wrote %s\n", *outGuide)
+	}
+	reportDegradations(res)
+	if res.DeadlineHit() {
+		fmt.Fprintln(os.Stderr, "crp: wall-clock budget expired; outputs hold the best-so-far solution")
+		os.Exit(1)
+	}
+}
+
+// reportDegradations prints every fault-tolerance event of the run.
+func reportDegradations(res *flow.Result) {
+	if !res.Degraded() {
+		return
+	}
+	fmt.Printf("degraded run: %d event(s)\n", len(res.Degradations))
+	for _, dg := range res.Degradations {
+		fmt.Printf("  %s\n", dg)
 	}
 }
 

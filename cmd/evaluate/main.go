@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,7 +47,7 @@ func main() {
 		fatal(err)
 	}
 
-	res := flow.RunBaseline(d, flow.DefaultConfig())
+	res := flow.RunBaseline(context.Background(), d, flow.DefaultConfig())
 	m := res.Metrics
 	fmt.Printf("design        : %s\n", m.Design)
 	fmt.Printf("wirelength    : %.1f um (%d dbu)\n", m.WirelengthUM, m.WirelengthDBU)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,7 @@ func main() {
 	cfg := crp.DefaultConfig()
 	cfg.Iterations = 6
 	engine := crp.New(d, g, r, cfg)
-	res := engine.Run()
+	res := engine.Run(context.Background())
 
 	after := g.Overflow()
 	fmt.Printf("\nafter %d CR&P iterations (%d cells moved): %d overflowed edges, total overflow %.1f, route cost %.0f\n",

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -61,7 +62,7 @@ func main() {
 	must(err)
 	outGuide, err := os.Create(filepath.Join(dir, "fileflow_crp.guide"))
 	must(err)
-	res, err := flow.RunCRPWithOutputs(d, 5, flow.DefaultConfig(), outDEF, outGuide)
+	res, err := flow.RunCRPWithOutputs(context.Background(), d, 5, flow.DefaultConfig(), outDEF, outGuide)
 	must(err)
 	must(outDEF.Close())
 	must(outGuide.Close())

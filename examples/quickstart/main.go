@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,13 +36,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := flow.RunBaseline(d1, cfg)
+	base := flow.RunBaseline(context.Background(), d1, cfg)
 
 	d2, err := ispd.Generate(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	crp := flow.RunCRP(d2, 5, cfg)
+	crp := flow.RunCRP(context.Background(), d2, 5, cfg)
 
 	fmt.Println("=== CR&P quickstart ===")
 	st := d2.Stats()

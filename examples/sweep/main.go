@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := flow.RunBaseline(d, cfg)
+	base := flow.RunBaseline(context.Background(), d, cfg)
 	fmt.Printf("baseline: %v (%.2fs)\n\n", base.Metrics, base.Timings.Total.Seconds())
 
 	fmt.Printf("%4s %10s %10s %10s %8s\n", "k", "viaImp%", "wlImp%", "runtime_s", "moved")
@@ -44,7 +45,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := flow.RunCRP(dk, k, cfg)
+		res := flow.RunCRP(context.Background(), dk, k, cfg)
 		imp := eval.Compare(base.Metrics, res.Metrics)
 		moved := 0
 		for _, it := range res.CRPStats.Iterations {
@@ -62,7 +63,7 @@ func main() {
 		}
 		c := cfg
 		mutate(&c.CRP)
-		res := flow.RunCRP(dk, 6, c)
+		res := flow.RunCRP(context.Background(), dk, 6, c)
 		imp := eval.Compare(base.Metrics, res.Metrics)
 		fmt.Printf("  %-28s via %6.2f%%  wl %6.2f%%\n", label, imp.ViasPct, imp.WirelengthPct)
 	}

@@ -22,6 +22,7 @@
 package medianilp
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -80,8 +81,11 @@ type Result struct {
 
 // Run executes the median-move ILP sweep over every movable cell and
 // reroutes the affected nets. The router must hold the initial global
-// routing.
-func Run(d *db.Design, g *grid.Grid, r *global.Router, cfg Config) *Result {
+// routing. Context cancellation is treated exactly like an expired
+// TimeBudget: the run reports Failed and the design is restored — the
+// baseline has no partial-result mode (matching [18]'s crash-or-complete
+// behaviour the paper reproduces).
+func Run(ctx context.Context, d *db.Design, g *grid.Grid, r *global.Router, cfg Config) *Result {
 	def := DefaultConfig()
 	if cfg.ClusterSize <= 0 {
 		cfg.ClusterSize = def.ClusterSize
@@ -129,6 +133,9 @@ func Run(d *db.Design, g *grid.Grid, r *global.Router, cfg Config) *Result {
 		return fail()
 	}
 	for lo := 0; lo < len(ids); lo += cfg.ClusterSize {
+		if ctx.Err() != nil {
+			return fail()
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return fail()
 		}
@@ -140,6 +147,13 @@ func Run(d *db.Design, g *grid.Grid, r *global.Router, cfg Config) *Result {
 		res.MovedCells += moved
 		res.SolverNodes += nodes
 		res.Clusters++
+	}
+
+	// A cancellation landing after the last cluster still fails the run:
+	// committing moves without rerouting would leave routes priced for the
+	// old positions.
+	if ctx.Err() != nil {
+		return fail()
 	}
 
 	// Reroute every net touching a moved cell, in deterministic order.
@@ -228,13 +242,25 @@ func runCluster(d *db.Design, g *grid.Grid, cfg Config, ids []int32, movedNets m
 		solveOpts.TimeLimit = time.Until(deadline)
 	}
 	sol := m.Solve(solveOpts)
-	if sol.Status != ilp.Optimal {
+	// Degradation ladder for this call site: anything short of Optimal —
+	// Infeasible (cannot happen: "stay" is always feasible, but handled
+	// anyway) or LimitReached (MaxNodesPerILP or the run deadline fired) —
+	// skips the cluster, the documented fallback. Even a LimitReached
+	// incumbent is not applied: [18]'s published behaviour is
+	// solve-or-skip, and applying partial cluster solutions would change
+	// the baseline the paper compares against.
+	switch sol.Status {
+	case ilp.Optimal:
+	case ilp.Infeasible, ilp.LimitReached:
 		return 0, sol.Nodes // keep everything as-is for this cluster
+	default:
+		return 0, sol.Nodes
 	}
 
 	moved := 0
 	for vi, o := range opts {
-		if !o.move || sol.Values[vi] != 1 {
+		// Value guards on HasIncumbent, so Values is never read blind.
+		if !o.move || !sol.Value(ilp.VarID(vi)) {
 			continue
 		}
 		if err := d.MoveCell(o.cell, o.pos); err != nil {

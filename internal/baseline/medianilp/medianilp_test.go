@@ -1,6 +1,7 @@
 package medianilp
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -29,7 +30,7 @@ func fixture(t testing.TB, cells, nets int, seed int64) (*db.Design, *grid.Grid,
 func TestRunMovesCellsTowardMedians(t *testing.T) {
 	d, g, r := fixture(t, 300, 250, 1)
 	hpwlBefore := d.TotalHPWL()
-	res := Run(d, g, r, DefaultConfig())
+	res := Run(context.Background(), d, g, r, DefaultConfig())
 	if res.Failed {
 		t.Fatal("unbudgeted run failed")
 	}
@@ -49,7 +50,7 @@ func TestRunMovesCellsTowardMedians(t *testing.T) {
 
 func TestRunKeepsNetsRouted(t *testing.T) {
 	d, g, r := fixture(t, 250, 200, 2)
-	Run(d, g, r, DefaultConfig())
+	Run(context.Background(), d, g, r, DefaultConfig())
 	for _, n := range d.Nets {
 		if n.Degree() >= 2 && r.Routes[n.ID] == nil {
 			t.Fatalf("net %d lost its route", n.ID)
@@ -64,7 +65,7 @@ func TestTimeBudgetFailureRestoresState(t *testing.T) {
 	pos0 := d.Cells[0].Pos
 	cfg := DefaultConfig()
 	cfg.TimeBudget = time.Nanosecond // guaranteed to trip
-	res := Run(d, g, r, cfg)
+	res := Run(context.Background(), d, g, r, cfg)
 	if !res.Failed {
 		t.Fatal("nanosecond budget did not fail")
 	}
@@ -82,7 +83,7 @@ func TestTimeBudgetFailureRestoresState(t *testing.T) {
 func TestDeterministic(t *testing.T) {
 	run := func() (int, int64) {
 		d, g, r := fixture(t, 200, 150, 4)
-		res := Run(d, g, r, DefaultConfig())
+		res := Run(context.Background(), d, g, r, DefaultConfig())
 		return res.MovedCells, d.TotalHPWL()
 	}
 	m1, h1 := run()
@@ -96,7 +97,7 @@ func TestClusterCount(t *testing.T) {
 	d, g, r := fixture(t, 200, 150, 5)
 	cfg := DefaultConfig()
 	cfg.ClusterSize = 50
-	res := Run(d, g, r, cfg)
+	res := Run(context.Background(), d, g, r, cfg)
 	movable := 0
 	for _, c := range d.Cells {
 		if !c.Fixed {
@@ -131,6 +132,6 @@ func BenchmarkBaselineRun(b *testing.B) {
 		b.StopTimer()
 		d, g, r := fixture(b, 300, 250, 7)
 		b.StartTimer()
-		Run(d, g, r, DefaultConfig())
+		Run(context.Background(), d, g, r, DefaultConfig())
 	}
 }

@@ -25,6 +25,8 @@
 package crp
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
@@ -54,6 +56,41 @@ const (
 	LengthOnly
 )
 
+// Hooks are optional seams for fault injection and testing. All fields may
+// be nil (the default), in which case the engine's behaviour is exactly the
+// un-hooked fast path. GCP/ECC hooks run inside worker goroutines and may
+// panic — the worker pool quarantines the offending work item instead of
+// crashing the run.
+type Hooks struct {
+	// GCP fires before candidate generation of critical cell index i.
+	GCP func(iter, i int)
+	// ECC fires before cost estimation of candidate group i.
+	ECC func(iter, i int)
+	// PostUD fires after the update-database phase, before the iteration's
+	// invariant check — the seam the chaos suite uses to prove rollback.
+	PostUD func(iter int)
+	// SolveSelection replaces the selection-ILP solve (Eq. 12) entirely;
+	// tests use it to force LimitReached/Infeasible outcomes.
+	SolveSelection func(m *ilp.Model, opt ilp.Options) ilp.Solution
+	// ILPOptions rewrites the selection solve options (fault injection:
+	// budget starvation).
+	ILPOptions func(opt ilp.Options) ilp.Options
+}
+
+// Degradation records one fault-tolerance event: a fallback taken, a
+// quarantined worker, a missed deadline, or a rolled-back iteration. A run
+// with no faults and no expired budgets reports none.
+type Degradation struct {
+	Iter   int    // 1-based CR&P iteration (0: outside any iteration)
+	Kind   string // stable identifier, e.g. "worker-panic", "selection-fallback"
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (d Degradation) String() string {
+	return fmt.Sprintf("iter %d: %s (%s)", d.Iter, d.Kind, d.Detail)
+}
+
 // Config tunes the framework; DefaultConfig returns the paper's values.
 type Config struct {
 	// Iterations is k, the number of CR&P iterations (paper: 1 and 10).
@@ -73,6 +110,18 @@ type Config struct {
 	// NoPriority disables the cost sort of Algorithm 1 (ablation hook:
 	// [18] moves cells with no priority).
 	NoPriority bool
+	// IterTimeout is the per-iteration deadline (0: none). An iteration
+	// that runs out of time completes its committed work and stops before
+	// the next uncommitted phase; it never leaves a half-applied state.
+	IterTimeout time.Duration
+	// ILPTimeLimit caps each selection-ILP solve (0: none). On expiry the
+	// greedy improving selection takes over (degradation ladder).
+	ILPTimeLimit time.Duration
+	// SelectMaxNodes caps the selection ILP's branch & bound nodes;
+	// 0 means the historical default of 200k nodes.
+	SelectMaxNodes int
+	// Hooks are fault-injection/testing seams; zero value = none.
+	Hooks Hooks
 }
 
 // DefaultConfig returns the paper's experimental parameters.
@@ -115,13 +164,27 @@ type IterStats struct {
 	SolverNodes  int
 	SolverStatus ilp.Status
 	SkippedMoves int // selected moves that failed to apply (defensive)
+
+	// Robustness outcomes (all zero on a fault-free iteration).
+	Quarantined    int  // worker panics contained this iteration
+	GreedyFallback bool // selection ILP fell back to the greedy selection
+	RolledBack     bool // invariant violation undid the whole iteration
+	DeadlineHit    bool // the iteration deadline expired mid-iteration
+	// Degradations details every robustness event of this iteration.
+	Degradations []Degradation
 }
 
 // Result aggregates a full CR&P run.
 type Result struct {
 	Iterations []IterStats
 	TotalMoved int
+	// Degradations aggregates every iteration's fault-tolerance events;
+	// empty on a clean run.
+	Degradations []Degradation
 }
+
+// Degraded reports whether any fault-tolerance event fired during the run.
+func (r *Result) Degraded() bool { return len(r.Degradations) > 0 }
 
 // Times sums the phase breakdown over all iterations.
 func (r *Result) Times() PhaseTimes {
@@ -149,6 +212,17 @@ type Engine struct {
 	// every worker a stable index, so phase-3 costing runs allocation-lean
 	// without locking.
 	est []*estScratch
+
+	// iter is the 1-based running iteration counter (fills Degradation.Iter).
+	iter int
+	// resWire/resVia are the grid demand residuals not explained by
+	// committed routes (obstacle/pin seeding), captured at construction;
+	// the transactional invariant check asserts they never drift.
+	resWire float64
+	resVia  float64
+	// broken latches an unrecoverable invariant violation (rollback did
+	// not restore consistency); Run stops iterating once set.
+	broken bool
 }
 
 // estScratch is the per-worker working set of Algorithm 3: the candidate's
@@ -177,11 +251,14 @@ func New(d *db.Design, g *grid.Grid, r *global.Router, cfg Config) *Engine {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.SelectMaxNodes <= 0 {
+		cfg.SelectMaxNodes = 200_000
+	}
 	est := make([]*estScratch, cfg.Workers)
 	for i := range est {
 		est[i] = &estScratch{}
 	}
-	return &Engine{
+	e := &Engine{
 		D:   d,
 		G:   g,
 		R:   r,
@@ -190,15 +267,31 @@ func New(d *db.Design, g *grid.Grid, r *global.Router, cfg Config) *Engine {
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 		est: est,
 	}
+	sumW, sumV := e.routeDemand()
+	e.resWire = g.TotalWireUsage() - sumW
+	e.resVia = g.TotalViaCount() - sumV
+	return e
 }
 
-// Run executes Cfg.Iterations CR&P iterations.
-func (e *Engine) Run() *Result {
+// Run executes Cfg.Iterations CR&P iterations under the context: ctx
+// cancellation (or a deadline) stops the loop between iterations, and
+// Cfg.IterTimeout bounds each individual iteration. The design is always
+// left in a consistent, legal state.
+func (e *Engine) Run(ctx context.Context) *Result {
 	res := &Result{}
 	for k := 0; k < e.Cfg.Iterations; k++ {
-		st := e.Iterate()
+		if err := ctx.Err(); err != nil {
+			res.Degradations = append(res.Degradations,
+				Degradation{Iter: e.iter + 1, Kind: "run-cancelled", Detail: err.Error()})
+			break
+		}
+		st := e.Iterate(ctx)
 		res.Iterations = append(res.Iterations, st)
 		res.TotalMoved += st.MovedCells
+		res.Degradations = append(res.Degradations, st.Degradations...)
+		if e.broken {
+			break
+		}
 	}
 	return res
 }
@@ -207,7 +300,7 @@ func (e *Engine) Run() *Result {
 // cells (or maxIters is reached) — the "continued to satisfy expected
 // requirements" stopping rule the paper sketches for its iterative flow.
 // minMoves of 1 stops at full convergence (an iteration with no moves).
-func (e *Engine) RunUntilConverged(maxIters, minMoves int) *Result {
+func (e *Engine) RunUntilConverged(ctx context.Context, maxIters, minMoves int) *Result {
 	if maxIters <= 0 {
 		maxIters = e.Cfg.Iterations
 	}
@@ -216,14 +309,40 @@ func (e *Engine) RunUntilConverged(maxIters, minMoves int) *Result {
 	}
 	res := &Result{}
 	for k := 0; k < maxIters; k++ {
-		st := e.Iterate()
+		if err := ctx.Err(); err != nil {
+			res.Degradations = append(res.Degradations,
+				Degradation{Iter: e.iter + 1, Kind: "run-cancelled", Detail: err.Error()})
+			break
+		}
+		st := e.Iterate(ctx)
 		res.Iterations = append(res.Iterations, st)
 		res.TotalMoved += st.MovedCells
-		if st.MovedCells < minMoves {
+		res.Degradations = append(res.Degradations, st.Degradations...)
+		if e.broken || st.MovedCells < minMoves {
 			break
 		}
 	}
 	return res
+}
+
+// routeDemand sums the grid demand explained by the router's committed
+// routes: wire usage on layers >= 1 (layer 0 has no capacity and is excluded
+// from TotalWireUsage) and all via edges. The difference between the grid
+// totals and these sums is the construction-time residual (pin/obstacle
+// seeding) that checkInvariants asserts never drifts.
+func (e *Engine) routeDemand() (wires, vias float64) {
+	for _, rt := range e.R.Routes {
+		if rt == nil {
+			continue
+		}
+		for _, w := range rt.Wires {
+			if w.L >= 1 {
+				wires++
+			}
+		}
+		vias += float64(len(rt.Vias))
+	}
+	return wires, vias
 }
 
 // cellCost is the Algorithm 1 sort key: the summed live cost of the cell's
@@ -323,10 +442,15 @@ func (c *candidate) movedCells() []int32 {
 }
 
 // generateCandidates is Algorithm 2: current position plus legalizer
-// output, in parallel over critical cells.
-func (e *Engine) generateCandidates(critical []int32) [][]candidate {
+// output, in parallel over critical cells. A worker panic (or a cancelled
+// context) leaves that cell with only its stay-put candidate, so the
+// selection phase can never pick half-generated work.
+func (e *Engine) generateCandidates(ctx context.Context, critical []int32) ([][]candidate, []quarantined) {
 	out := make([][]candidate, len(critical))
-	e.parallelFor(len(critical), func(_, i int) {
+	quar := e.parallelFor(ctx, len(critical), func(_, i int) {
+		if h := e.Cfg.Hooks.GCP; h != nil {
+			h(e.iter, i)
+		}
 		cid := critical[i]
 		cur := e.D.Cells[cid].Pos
 		cands := []candidate{{cell: cid, pos: cur, conflicts: map[int32]geom.Point{}, isCurrent: true}}
@@ -335,20 +459,55 @@ func (e *Engine) generateCandidates(critical []int32) [][]candidate {
 		}
 		out[i] = cands
 	})
-	return out
+	// Cells skipped by cancellation or quarantined by a panic keep exactly
+	// their current position.
+	for i := range out {
+		if out[i] == nil {
+			cid := critical[i]
+			out[i] = []candidate{{cell: cid, pos: e.D.Cells[cid].Pos, conflicts: map[int32]geom.Point{}, isCurrent: true}}
+		}
+	}
+	return out, quar
 }
 
 // estimateCosts is Algorithm 3: each candidate's cost is the summed
 // estimated routing cost of every net touching a cell the candidate moves,
 // with the candidate's positions applied hypothetically and every other
 // cell fixed. Each worker prices with its own scratch buffers.
-func (e *Engine) estimateCosts(cands [][]candidate) {
-	e.parallelFor(len(cands), func(w, i int) {
+//
+// Costs are prefilled with +Inf so a group abandoned mid-pricing (panic or
+// cancellation) can never look attractive: such groups are reset to "stay
+// put is free, every move is infinitely expensive".
+func (e *Engine) estimateCosts(ctx context.Context, cands [][]candidate) []quarantined {
+	for i := range cands {
+		for j := range cands[i] {
+			cands[i][j].cost = math.Inf(1)
+		}
+	}
+	done := make([]bool, len(cands))
+	quar := e.parallelFor(ctx, len(cands), func(w, i int) {
+		if h := e.Cfg.Hooks.ECC; h != nil {
+			h(e.iter, i)
+		}
 		s := e.est[w]
 		for j := range cands[i] {
 			cands[i][j].cost = e.estimateCandidate(&cands[i][j], s)
 		}
+		done[i] = true
 	})
+	for i := range cands {
+		if done[i] {
+			continue
+		}
+		for j := range cands[i] {
+			if cands[i][j].isCurrent {
+				cands[i][j].cost = 0
+			} else {
+				cands[i][j].cost = math.Inf(1)
+			}
+		}
+	}
+	return quar
 }
 
 func (e *Engine) estimateCandidate(c *candidate, s *estScratch) float64 {
@@ -424,18 +583,46 @@ func (e *Engine) estimateNet(nid int32, s *estScratch) float64 {
 	return e.R.EstimateTerminalCost(pts)
 }
 
+// quarantined records a work item whose worker panicked: the pool contains
+// the panic, skips the item, and reports it instead of killing the run.
+type quarantined struct {
+	index int
+	msg   string
+}
+
 // parallelFor runs fn(worker, i) for i in [0,n) on the worker pool. Work is
 // claimed in chunks off an atomic counter instead of being pushed one index
 // at a time through an unbuffered channel: claiming costs one uncontended
 // atomic add per chunk rather than a channel rendezvous per index, and the
 // stable worker index lets callers keep per-worker scratch state.
-func (e *Engine) parallelFor(n int, fn func(worker, i int)) {
+//
+// Robustness contract: a panicking fn quarantines only its own index (the
+// rest of the chunk and pool continue), and a cancelled ctx stops workers at
+// the next chunk boundary — indices never claimed are simply not run, which
+// callers observe through their own completion bookkeeping. All goroutines
+// are joined before returning; nothing leaks on cancellation.
+func (e *Engine) parallelFor(ctx context.Context, n int, fn func(worker, i int)) []quarantined {
+	var quar []quarantined
+	var mu sync.Mutex
+	call := func(w, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				quar = append(quar, quarantined{index: i, msg: fmt.Sprint(r)})
+				mu.Unlock()
+			}
+		}()
+		fn(w, i)
+	}
 	workers := min(e.Cfg.Workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(0, i)
+			if ctx.Err() != nil {
+				break
+			}
+			call(0, i)
 		}
-		return
+		return quar
 	}
 	// ~4 chunks per worker balances claim overhead against tail imbalance
 	// from uneven per-index work.
@@ -447,15 +634,20 @@ func (e *Engine) parallelFor(n int, fn func(worker, i int)) {
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				start := int(next.Add(int64(chunk))) - chunk
 				if start >= n {
 					return
 				}
 				for i := start; i < min(start+chunk, n); i++ {
-					fn(w, i)
+					call(w, i)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	sort.Slice(quar, func(a, b int) bool { return quar[a].index < quar[b].index })
+	return quar
 }

@@ -1,6 +1,7 @@
 package crp
 
 import (
+	"context"
 	"testing"
 
 	"github.com/crp-eda/crp/internal/db"
@@ -37,7 +38,7 @@ func TestIterateKeepsDesignLegal(t *testing.T) {
 	d, g, r := fixture(t, 300, 250, 1)
 	e := New(d, g, r, smallConfig(3))
 	for k := 0; k < 3; k++ {
-		st := e.Iterate()
+		st := e.Iterate(context.Background())
 		if err := d.Validate(); err != nil {
 			t.Fatalf("iteration %d left the design illegal: %v", k, err)
 		}
@@ -53,7 +54,7 @@ func TestIterateKeepsDesignLegal(t *testing.T) {
 func TestSelectedMovesNeverWorseThanStaying(t *testing.T) {
 	d, g, r := fixture(t, 300, 250, 2)
 	e := New(d, g, r, smallConfig(1))
-	st := e.Iterate()
+	st := e.Iterate(context.Background())
 	if st.MovedCells > 0 && st.EstAfter > st.EstBefore+1e-6 {
 		t.Errorf("ILP chose moves costing %v over staying at %v", st.EstAfter, st.EstBefore)
 	}
@@ -63,7 +64,7 @@ func TestRunReducesRoutingCost(t *testing.T) {
 	d, g, r := fixture(t, 400, 350, 3)
 	before := r.TotalCost()
 	e := New(d, g, r, smallConfig(3))
-	res := e.Run()
+	res := e.Run(context.Background())
 	after := r.TotalCost()
 	if res.TotalMoved == 0 {
 		t.Skip("no moves selected on this instance")
@@ -196,7 +197,7 @@ func TestNoPriorityAblationDiffers(t *testing.T) {
 func TestNetsStayConnectedAfterCRP(t *testing.T) {
 	d, g, r := fixture(t, 300, 250, 9)
 	e := New(d, g, r, smallConfig(2))
-	e.Run()
+	e.Run(context.Background())
 	// Every spanning net must still have a committed route.
 	for _, n := range d.Nets {
 		if n.Degree() < 2 {
@@ -213,7 +214,7 @@ func TestDeterministicRuns(t *testing.T) {
 	run := func() (int, float64) {
 		d, g, r := fixture(t, 250, 200, 10)
 		e := New(d, g, r, smallConfig(2))
-		res := e.Run()
+		res := e.Run(context.Background())
 		return res.TotalMoved, r.TotalCost()
 	}
 	m1, c1 := run()
@@ -226,7 +227,7 @@ func TestDeterministicRuns(t *testing.T) {
 func TestPhaseTimesRecorded(t *testing.T) {
 	d, g, r := fixture(t, 250, 200, 11)
 	e := New(d, g, r, smallConfig(1))
-	st := e.Iterate()
+	st := e.Iterate(context.Background())
 	if st.Times.Total() <= 0 {
 		t.Error("no phase times recorded")
 	}
@@ -243,7 +244,7 @@ func TestLengthOnlyCostMode(t *testing.T) {
 	cfg := smallConfig(1)
 	cfg.CostMode = LengthOnly
 	e := New(d, g, r, cfg)
-	st := e.Iterate()
+	st := e.Iterate(context.Background())
 	if err := d.Validate(); err != nil {
 		t.Fatalf("LengthOnly iteration broke legality: %v", err)
 	}
@@ -255,7 +256,7 @@ func TestLengthOnlyCostMode(t *testing.T) {
 func TestMarkHistoryAfterIteration(t *testing.T) {
 	d, g, r := fixture(t, 250, 200, 13)
 	e := New(d, g, r, smallConfig(1))
-	st := e.Iterate()
+	st := e.Iterate(context.Background())
 	nCrit, nMoved := 0, 0
 	for _, c := range d.Cells {
 		if d.WasCritical(c.ID) {
@@ -278,7 +279,7 @@ func BenchmarkIterate(b *testing.B) {
 	e := New(d, g, r, smallConfig(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.Iterate()
+		e.Iterate(context.Background())
 	}
 }
 
@@ -290,18 +291,18 @@ func BenchmarkECCEstimateCosts(b *testing.B) {
 	d, g, r := fixture(b, 400, 350, 20)
 	e := New(d, g, r, smallConfig(1))
 	critical := e.labelCriticalCells()
-	cands := e.generateCandidates(critical)
+	cands, _ := e.generateCandidates(context.Background(), critical)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.estimateCosts(cands)
+		e.estimateCosts(context.Background(), cands)
 	}
 }
 
 func TestRunUntilConverged(t *testing.T) {
 	d, g, r := fixture(t, 250, 200, 14)
 	e := New(d, g, r, smallConfig(1))
-	res := e.RunUntilConverged(20, 1)
+	res := e.RunUntilConverged(context.Background(), 20, 1)
 	if len(res.Iterations) == 0 {
 		t.Fatal("no iterations ran")
 	}

@@ -1,6 +1,8 @@
 package crp
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"github.com/crp-eda/crp/internal/db"
@@ -36,7 +38,10 @@ func sameOutcome(a, b runOutcome) bool {
 		return false
 	}
 	for i := range a.iters {
-		if a.iters[i] != b.iters[i] {
+		// IterStats carries a Degradations slice now, so == no longer
+		// applies; DeepEqual also asserts both runs degraded identically
+		// (in these fault-free runs: not at all).
+		if !reflect.DeepEqual(a.iters[i], b.iters[i]) {
 			return false
 		}
 	}
@@ -80,7 +85,7 @@ func TestDeterminismColdWarmAndUncached(t *testing.T) {
 			}
 		}
 		e := New(d, g, r, smallConfig(3))
-		return outcomeOf(t, d, r, e.Run())
+		return outcomeOf(t, d, r, e.Run(context.Background()))
 	}
 
 	cold := run(false, false)

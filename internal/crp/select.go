@@ -1,17 +1,39 @@
 package crp
 
 import (
+	"context"
+	"fmt"
+	"math"
 	"sort"
 	"time"
 
+	"github.com/crp-eda/crp/internal/db"
 	"github.com/crp-eda/crp/internal/geom"
 	"github.com/crp-eda/crp/internal/ilp"
+	"github.com/crp-eda/crp/internal/route/global"
 )
 
 // Iterate runs one CR&P iteration (the five phases of Fig. 1's middle box)
 // and returns its statistics.
-func (e *Engine) Iterate() IterStats {
+//
+// The iteration is transactional: the update-database phase runs against a
+// position snapshot, and an invariant checker (grid demand consistency plus
+// placement legality) gates the commit. On violation the whole iteration is
+// rolled back — moved cells restored, rerouted nets re-committed to their
+// old routes — so a bad iteration can degrade quality but never corrupt the
+// design. Cfg.IterTimeout (and any deadline already on ctx) bounds the
+// iteration; expiry stops it before the next uncommitted phase.
+func (e *Engine) Iterate(ctx context.Context) IterStats {
+	e.iter++
 	var st IterStats
+	deg := func(kind, detail string) {
+		st.Degradations = append(st.Degradations, Degradation{Iter: e.iter, Kind: kind, Detail: detail})
+	}
+	if e.Cfg.IterTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.Cfg.IterTimeout)
+		defer cancel()
+	}
 
 	t0 := time.Now()
 	critical := e.labelCriticalCells()
@@ -25,21 +47,50 @@ func (e *Engine) Iterate() IterStats {
 	}
 
 	t0 = time.Now()
-	cands := e.generateCandidates(critical)
+	ls0 := e.L.Stats()
+	cands, quarGCP := e.generateCandidates(ctx, critical)
 	st.Times.GCP = time.Since(t0)
+	for _, q := range quarGCP {
+		deg("worker-panic", fmt.Sprintf("GCP cell #%d quarantined: %s", q.index, q.msg))
+	}
+	st.Quarantined += len(quarGCP)
+	ls1 := e.L.Stats()
+	if n := ls1.IncumbentKept - ls0.IncumbentKept; n > 0 {
+		deg("legal-incumbent", fmt.Sprintf("%d legalizer ILPs hit their budget; kept best incumbent", n))
+	}
+	if n := ls1.BudgetDropped - ls0.BudgetDropped; n > 0 {
+		deg("legal-dropped", fmt.Sprintf("%d legalizer ILPs hit their budget with no incumbent; candidates dropped", n))
+	}
 	for _, cs := range cands {
 		st.Candidates += len(cs)
 	}
 
 	t0 = time.Now()
-	e.estimateCosts(cands)
+	quarECC := e.estimateCosts(ctx, cands)
 	st.Times.ECC = time.Since(t0)
+	for _, q := range quarECC {
+		deg("worker-panic", fmt.Sprintf("ECC group #%d quarantined: %s", q.index, q.msg))
+	}
+	st.Quarantined += len(quarECC)
+
+	// Deadline gate: selection + UD start only with time on the clock. An
+	// iteration abandoned here has changed nothing — GCP/ECC only read the
+	// design — so stopping is free.
+	if err := ctx.Err(); err != nil {
+		st.DeadlineHit = true
+		deg("iteration-deadline", "stopped before selection: "+err.Error())
+		return st
+	}
 
 	t0 = time.Now()
-	chosen, sol := e.selectCandidates(cands)
+	chosen, sol, usedGreedy := e.selectCandidates(ctx, cands)
 	st.Times.ILP = time.Since(t0)
 	st.SolverNodes = sol.Nodes
 	st.SolverStatus = sol.Status
+	if usedGreedy {
+		st.GreedyFallback = true
+		deg("selection-fallback", fmt.Sprintf("selection ILP %v; greedy improving selection took over", sol.Status))
+	}
 
 	// EstBefore/EstAfter compare the selected moves against staying put,
 	// on the same Algorithm 3 cost scale.
@@ -53,9 +104,76 @@ func (e *Engine) Iterate() IterStats {
 	}
 
 	t0 = time.Now()
-	e.applyMoves(chosen, curCost, &st)
+	snap := e.D.Snapshot()
+	moved, oldRoutes := e.applyMoves(chosen, curCost, &st)
+	if h := e.Cfg.Hooks.PostUD; h != nil {
+		h(e.iter)
+	}
+	if err := e.checkInvariants(); err != nil {
+		e.rollback(snap, oldRoutes)
+		st.RolledBack = true
+		st.MovedCells, st.ReroutedNets, st.SkippedMoves = 0, 0, 0
+		st.EstBefore, st.EstAfter = 0, 0
+		deg("iteration-rollback", err.Error())
+		if err2 := e.checkInvariants(); err2 != nil {
+			// Rollback failed to restore consistency: latch the engine so
+			// the run stops instead of compounding the corruption.
+			e.broken = true
+			deg("invariant-unrecoverable", err2.Error())
+		}
+	} else {
+		// Commit: history marking happens only on a kept iteration so a
+		// rolled-back move does not dampen the cell's future re-selection.
+		for _, id := range moved {
+			e.D.MarkMoved(id)
+		}
+	}
 	st.Times.UD = time.Since(t0)
+	if ctx.Err() != nil {
+		st.DeadlineHit = true
+		deg("iteration-deadline", "deadline expired during update-database (completed transactionally)")
+	}
 	return st
+}
+
+// checkInvariants verifies the two properties a committed iteration must
+// preserve: the grid's demand totals are exactly the committed routes plus
+// the construction-time residual (no leaked or double-counted rip-ups), and
+// every cell sits at a legal position.
+func (e *Engine) checkInvariants() error {
+	sumW, sumV := e.routeDemand()
+	if drift := e.G.TotalWireUsage() - sumW - e.resWire; math.Abs(drift) > 1e-6 {
+		return fmt.Errorf("grid wire demand drift %+g (total %g, routes %g, residual %g)",
+			drift, e.G.TotalWireUsage(), sumW, e.resWire)
+	}
+	if drift := e.G.TotalViaCount() - sumV - e.resVia; math.Abs(drift) > 1e-6 {
+		return fmt.Errorf("grid via demand drift %+g (total %g, routes %g, residual %g)",
+			drift, e.G.TotalViaCount(), sumV, e.resVia)
+	}
+	if err := e.D.Validate(); err != nil {
+		return fmt.Errorf("placement illegal: %w", err)
+	}
+	return nil
+}
+
+// rollback undoes an applyMoves transaction: every rerouted net is ripped
+// up and its pre-iteration route re-committed (restoring grid demand), then
+// all cell positions are restored from the snapshot.
+func (e *Engine) rollback(snap db.PositionSnapshot, oldRoutes map[int32]*global.Route) {
+	nids := make([]int32, 0, len(oldRoutes))
+	for nid := range oldRoutes {
+		nids = append(nids, nid)
+	}
+	sort.Slice(nids, func(a, b int) bool { return nids[a] < nids[b] })
+	for _, nid := range nids {
+		e.R.RipUp(nid)
+		e.R.Commit(oldRoutes[nid]) // Commit(nil) is a no-op: net was unrouted before
+	}
+	if err := e.D.Restore(snap); err != nil {
+		// Only possible if the cell count changed mid-iteration, which
+		// nothing does; checkInvariants will latch e.broken.
+		return
+	}
 }
 
 // selectCandidates builds and solves the Eq. 12 selection ILP: one
@@ -68,7 +186,12 @@ func (e *Engine) Iterate() IterStats {
 // nothing new) and does not increase the objective — so it is dropped, and
 // cells left with no improving candidate are fixed to their current
 // position outside the model.
-func (e *Engine) selectCandidates(cands [][]candidate) ([]*candidate, ilp.Solution) {
+//
+// Degradation ladder: a solve that ends LimitReached or Infeasible — or a
+// ctx deadline that expires before the solve can start — drops to the
+// greedy improving selection below (usedGreedy=true). The greedy path is
+// always feasible and never worse than everyone staying put.
+func (e *Engine) selectCandidates(ctx context.Context, cands [][]candidate) (_ []*candidate, _ ilp.Solution, usedGreedy bool) {
 	var chosen []*candidate
 	type cellCands struct {
 		ci   int
@@ -100,7 +223,7 @@ func (e *Engine) selectCandidates(cands [][]candidate) ([]*candidate, ilp.Soluti
 		active = append(active, cellCands{i, keep})
 	}
 	if len(active) == 0 {
-		return chosen, ilp.Solution{Status: ilp.Optimal, HasIncumbent: true}
+		return chosen, ilp.Solution{Status: ilp.Optimal, HasIncumbent: true}, false
 	}
 
 	m := ilp.NewModel()
@@ -199,20 +322,46 @@ func (e *Engine) selectCandidates(cands [][]candidate) ([]*candidate, ilp.Soluti
 		}
 	}
 
-	sol := m.Solve(ilp.Options{MaxNodes: 200_000})
+	// Solve budget: the configured node cap, the configured per-solve time
+	// limit, and whatever remains of the iteration deadline — whichever is
+	// tightest. A deadline already in the past skips the solve entirely.
+	opt := ilp.Options{MaxNodes: e.Cfg.SelectMaxNodes, TimeLimit: e.Cfg.ILPTimeLimit}
+	skipSolve := false
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			skipSolve = true
+		} else if opt.TimeLimit == 0 || rem < opt.TimeLimit {
+			opt.TimeLimit = rem
+		}
+	}
+	if h := e.Cfg.Hooks.ILPOptions; h != nil {
+		opt = h(opt)
+	}
+	var sol ilp.Solution
+	if skipSolve {
+		sol = ilp.Solution{Status: ilp.LimitReached}
+	} else if h := e.Cfg.Hooks.SolveSelection; h != nil {
+		sol = h(m, opt)
+	} else {
+		sol = m.Solve(opt)
+	}
 	if sol.Status == ilp.Optimal {
 		for vi, ref := range refs {
-			if sol.Values[vi] == 1 {
+			if sol.Value(ilp.VarID(vi)) {
 				chosen = append(chosen, &cands[ref.ci][ref.cj])
 			}
 		}
-		return chosen, sol
+		return chosen, sol, false
 	}
 
-	// Node budget exhausted on a pathological component: fall back to a
-	// greedy improving selection — best gain first, skipping any move that
-	// collides with an already-accepted one. Always feasible and never
-	// worse than everyone staying put.
+	// Budget exhausted (or infeasible under an injected fault): fall back
+	// to a greedy improving selection — best gain first, skipping any move
+	// that collides with an already-accepted one. A LimitReached incumbent
+	// is deliberately not used here: unlike the legalizer's window models,
+	// Eq. 12 incumbents from a truncated search have shown no quality edge
+	// over the greedy order, and one fallback path is easier to reason
+	// about than two.
 	type pick struct {
 		cc   cellCands
 		best int // candidate index, -1 = stay
@@ -288,12 +437,15 @@ func (e *Engine) selectCandidates(cands [][]candidate) ([]*candidate, ilp.Soluti
 		}
 		chosen = append(chosen, cand)
 	}
-	return chosen, sol
+	return chosen, sol, true
 }
 
-// applyMoves is the Update Database phase: commit the selected moves, mark
-// history, and rip-up & reroute every net touching a moved cell.
-func (e *Engine) applyMoves(chosen []*candidate, curCost map[int32]float64, st *IterStats) {
+// applyMoves is the Update Database phase: commit the selected moves and
+// rip-up & reroute every net touching a moved cell. It returns the moved
+// cell IDs (history marking is deferred until the iteration's invariant
+// check passes) and each rerouted net's pre-iteration route, which is
+// exactly what rollback needs to restore grid demand.
+func (e *Engine) applyMoves(chosen []*candidate, curCost map[int32]float64, st *IterStats) (moved []int32, oldRoutes map[int32]*global.Route) {
 	movedCells := map[int32]bool{}
 	for _, c := range chosen {
 		if c.isCurrent {
@@ -313,12 +465,14 @@ func (e *Engine) applyMoves(chosen []*candidate, curCost map[int32]float64, st *
 		}
 		for id := range moves {
 			movedCells[id] = true
-			e.D.MarkMoved(id)
 		}
 	}
 	st.MovedCells = len(movedCells)
 
-	// Reroute all nets touching moved cells, in deterministic order.
+	// Reroute all nets touching moved cells, in deterministic order. The
+	// old route pointers are captured first: RerouteNet rips up (removing
+	// the old demand) before committing the new route, so the pointer is
+	// the only remaining handle for rollback.
 	netSet := map[int32]bool{}
 	for id := range movedCells {
 		for _, nid := range e.D.Cells[id].Nets {
@@ -330,8 +484,17 @@ func (e *Engine) applyMoves(chosen []*candidate, curCost map[int32]float64, st *
 		nets = append(nets, nid)
 	}
 	sort.Slice(nets, func(a, b int) bool { return nets[a] < nets[b] })
+	oldRoutes = make(map[int32]*global.Route, len(nets))
 	for _, nid := range nets {
+		oldRoutes[nid] = e.R.Routes[nid]
 		e.R.RerouteNet(nid)
 	}
 	st.ReroutedNets = len(netSet)
+
+	moved = make([]int32, 0, len(movedCells))
+	for id := range movedCells {
+		moved = append(moved, id)
+	}
+	sort.Slice(moved, func(a, b int) bool { return moved[a] < moved[b] })
+	return moved, oldRoutes
 }

@@ -8,6 +8,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -35,14 +36,25 @@ type Metrics struct {
 	Score         float64
 	Detours       int
 
+	// Truncated reports that the evaluation deadline expired mid-routing;
+	// the metrics are a lower bound, not the full design's.
+	Truncated bool
+
 	// NetWL and NetVias attribute the totals per net (indexed by net ID).
 	NetWL   []int64
 	NetVias []int64
 }
 
-// Evaluate runs detailed routing and scores the result.
+// Evaluate runs detailed routing and scores the result (no deadline).
 func Evaluate(d *db.Design, g *grid.Grid, routes []*global.Route, cfg detail.Config) Metrics {
-	res := detail.Route(d, g, routes, cfg)
+	return EvaluateCtx(context.Background(), d, g, routes, cfg)
+}
+
+// EvaluateCtx is Evaluate under a cancellation context: the detailed router
+// stops at the next panel boundary once ctx expires and the metrics are
+// flagged Truncated.
+func EvaluateCtx(ctx context.Context, d *db.Design, g *grid.Grid, routes []*global.Route, cfg detail.Config) Metrics {
+	res := detail.RouteCtx(ctx, d, g, routes, cfg)
 	m := Metrics{
 		Design:        d.Name,
 		WirelengthDBU: res.WirelengthDBU,
@@ -50,6 +62,7 @@ func Evaluate(d *db.Design, g *grid.Grid, routes []*global.Route, cfg detail.Con
 		Vias:          res.Vias,
 		DRVs:          res.DRVs,
 		Detours:       res.Detours,
+		Truncated:     res.Truncated,
 		NetWL:         res.NetWL,
 		NetVias:       res.NetVias,
 	}

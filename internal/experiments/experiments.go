@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -125,7 +126,16 @@ func RunCircuit(spec ispd.Spec, opts Options) (CircuitResult, error) {
 			fmt.Fprintf(opts.Progress, format+"\n", args...)
 		}
 	}
+	reportDegradations := func(label string, r *flow.Result) {
+		if r == nil || !r.Degraded() {
+			return
+		}
+		for _, dg := range r.Degradations {
+			progress("%s: %s degraded %s", spec.Name, label, dg)
+		}
+	}
 	fresh := func() (*db.Design, error) { return ispd.Generate(spec) }
+	ctx := context.Background()
 
 	d, err := fresh()
 	if err != nil {
@@ -134,7 +144,8 @@ func RunCircuit(spec ispd.Spec, opts Options) (CircuitResult, error) {
 	cr := CircuitResult{Spec: spec, Stats: d.Stats()}
 
 	progress("%s: baseline (GR+DR, no movement)...", spec.Name)
-	cr.Baseline = flow.RunBaseline(d, opts.Flow)
+	cr.Baseline = flow.RunBaseline(ctx, d, opts.Flow)
+	reportDegradations("baseline", cr.Baseline)
 
 	progress("%s: state of the art [18] (median ILP)...", spec.Name)
 	if d, err = fresh(); err != nil {
@@ -143,19 +154,22 @@ func RunCircuit(spec ispd.Spec, opts Options) (CircuitResult, error) {
 	fcfg := opts.Flow
 	fcfg.Baseline.TimeBudget = opts.SOTABudget
 	fcfg.Baseline.MaxCells = opts.SOTAMaxCells
-	cr.SOTA = flow.RunSOTA(d, fcfg)
+	cr.SOTA = flow.RunSOTA(ctx, d, fcfg)
+	reportDegradations("[18]", cr.SOTA)
 
 	progress("%s: CR&P k=%d...", spec.Name, opts.K1)
 	if d, err = fresh(); err != nil {
 		return cr, err
 	}
-	cr.K1 = flow.RunCRP(d, opts.K1, opts.Flow)
+	cr.K1 = flow.RunCRP(ctx, d, opts.K1, opts.Flow)
+	reportDegradations(fmt.Sprintf("k=%d", opts.K1), cr.K1)
 
 	progress("%s: CR&P k=%d...", spec.Name, opts.K10)
 	if d, err = fresh(); err != nil {
 		return cr, err
 	}
-	cr.K10 = flow.RunCRP(d, opts.K10, opts.Flow)
+	cr.K10 = flow.RunCRP(ctx, d, opts.K10, opts.Flow)
+	reportDegradations(fmt.Sprintf("k=%d", opts.K10), cr.K10)
 
 	progress("%s: done (baseline vias=%d, k=%d vias=%d)",
 		spec.Name, cr.Baseline.Metrics.Vias, opts.K10, cr.K10.Metrics.Vias)

@@ -1,0 +1,128 @@
+// Package faultinject is the deterministic fault injector behind the flow
+// chaos suite. A Plan declares which faults fire and when (call counts, not
+// wall-clock, so runs replay identically); an Injector turns the plan into
+// the hook functions crp.Hooks accepts and records every fault that
+// actually fired.
+//
+// The zero-fault discipline mirrors PR 1's DisableEstimateCache: an empty
+// Plan produces nil hooks, so an un-faulted run executes exactly the
+// engine's un-hooked fast path and must be bit-identical to a run without
+// the robustness layer at all. The chaos suite asserts both directions.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/crp-eda/crp/internal/ilp"
+)
+
+// Plan declares the faults to inject. The zero value injects nothing.
+// Counts are 1-based global call indices: PanicAtGCPCall=3 panics the third
+// candidate-generation work item of the whole run.
+type Plan struct {
+	// PanicAtGCPCall panics inside the worker pool at the Nth candidate
+	// generation call (0 disables). The pool must quarantine the cell.
+	PanicAtGCPCall int
+	// PanicAtECCCall panics at the Nth cost-estimation call (0 disables).
+	PanicAtECCCall int
+	// ECCSlowdown sleeps this long on every cost-estimation call,
+	// simulating a pathologically slow stage so deadline tests fire
+	// deterministically regardless of machine speed.
+	ECCSlowdown time.Duration
+	// StarveSelectionFromCall clamps the selection ILP to MaxNodes=1 from
+	// the Nth solve on (0 disables), forcing LimitReached and the greedy
+	// fallback.
+	StarveSelectionFromCall int
+}
+
+// Injector applies a Plan and records what fired. All methods are safe for
+// concurrent use — the hooks run inside the engine's worker pool.
+type Injector struct {
+	plan     Plan
+	gcpCalls atomic.Int64
+	eccCalls atomic.Int64
+	selCalls atomic.Int64
+
+	mu    sync.Mutex
+	fired []string
+}
+
+// New builds an injector for the plan.
+func New(plan Plan) *Injector { return &Injector{plan: plan} }
+
+func (in *Injector) record(ev string) {
+	in.mu.Lock()
+	in.fired = append(in.fired, ev)
+	in.mu.Unlock()
+}
+
+// Fired returns every fault event that actually fired, in firing order.
+func (in *Injector) Fired() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.fired...)
+}
+
+// GCPHook returns the crp.Hooks.GCP function, or nil when the plan injects
+// no candidate-generation faults (nil keeps the engine on its exact
+// un-hooked fast path).
+func (in *Injector) GCPHook() func(iter, i int) {
+	if in.plan.PanicAtGCPCall <= 0 {
+		return nil
+	}
+	return func(iter, i int) {
+		if n := in.gcpCalls.Add(1); n == int64(in.plan.PanicAtGCPCall) {
+			in.record(fmt.Sprintf("gcp-panic call=%d iter=%d item=%d", n, iter, i))
+			panic(fmt.Sprintf("faultinject: GCP worker panic (call %d)", n))
+		}
+	}
+}
+
+// ECCHook returns the crp.Hooks.ECC function, or nil when the plan injects
+// no cost-estimation faults.
+func (in *Injector) ECCHook() func(iter, i int) {
+	if in.plan.PanicAtECCCall <= 0 && in.plan.ECCSlowdown <= 0 {
+		return nil
+	}
+	return func(iter, i int) {
+		n := in.eccCalls.Add(1)
+		if in.plan.ECCSlowdown > 0 {
+			time.Sleep(in.plan.ECCSlowdown)
+		}
+		if in.plan.PanicAtECCCall > 0 && n == int64(in.plan.PanicAtECCCall) {
+			in.record(fmt.Sprintf("ecc-panic call=%d iter=%d item=%d", n, iter, i))
+			panic(fmt.Sprintf("faultinject: ECC worker panic (call %d)", n))
+		}
+	}
+}
+
+// ILPOptions returns the crp.Hooks.ILPOptions function, or nil when the
+// plan injects no selection-ILP faults.
+func (in *Injector) ILPOptions() func(opt ilp.Options) ilp.Options {
+	if in.plan.StarveSelectionFromCall <= 0 {
+		return nil
+	}
+	return func(opt ilp.Options) ilp.Options {
+		if n := in.selCalls.Add(1); n >= int64(in.plan.StarveSelectionFromCall) {
+			in.record(fmt.Sprintf("selection-starved call=%d", n))
+			opt.MaxNodes = 1
+		}
+		return opt
+	}
+}
+
+// TruncateDEF deterministically truncates DEF (or any) input to frac of its
+// length — the "torn file" fault class. frac is clamped to [0, 1].
+func TruncateDEF(input []byte, frac float64) []byte {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(float64(len(input)) * frac)
+	return append([]byte(nil), input[:n]...)
+}

@@ -1,0 +1,82 @@
+package faultinject
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/crp-eda/crp/internal/ilp"
+)
+
+func TestZeroPlanProducesNilHooks(t *testing.T) {
+	in := New(Plan{})
+	if in.GCPHook() != nil || in.ECCHook() != nil || in.ILPOptions() != nil {
+		t.Fatal("empty plan must produce nil hooks (bit-identity discipline)")
+	}
+	if len(in.Fired()) != 0 {
+		t.Fatal("nothing should have fired")
+	}
+}
+
+func TestGCPPanicFiresExactlyOnce(t *testing.T) {
+	in := New(Plan{PanicAtGCPCall: 3})
+	h := in.GCPHook()
+	panics := 0
+	for i := 0; i < 10; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					panics++
+				}
+			}()
+			h(1, i)
+		}()
+	}
+	if panics != 1 {
+		t.Fatalf("panicked %d times, want exactly 1", panics)
+	}
+	fired := in.Fired()
+	if len(fired) != 1 || !strings.HasPrefix(fired[0], "gcp-panic call=3") {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestSelectionStarvationFromCall(t *testing.T) {
+	in := New(Plan{StarveSelectionFromCall: 2})
+	h := in.ILPOptions()
+	base := ilp.Options{MaxNodes: 200_000}
+	if got := h(base); got.MaxNodes != 200_000 {
+		t.Fatalf("call 1 must pass through, got MaxNodes=%d", got.MaxNodes)
+	}
+	for i := 0; i < 3; i++ {
+		if got := h(base); got.MaxNodes != 1 {
+			t.Fatalf("starved call returned MaxNodes=%d", got.MaxNodes)
+		}
+	}
+	if len(in.Fired()) != 3 {
+		t.Fatalf("fired %d events, want 3", len(in.Fired()))
+	}
+}
+
+func TestTruncateDEFDeterministic(t *testing.T) {
+	input := []byte("DESIGN chaos ;\nDIEAREA ( 0 0 ) ( 10 10 ) ;\nEND DESIGN\n")
+	a := TruncateDEF(input, 0.5)
+	b := TruncateDEF(input, 0.5)
+	if !bytes.Equal(a, b) {
+		t.Fatal("truncation must be deterministic")
+	}
+	if len(a) != len(input)/2 {
+		t.Fatalf("len = %d, want %d", len(a), len(input)/2)
+	}
+	if len(TruncateDEF(input, 0)) != 0 || len(TruncateDEF(input, 1)) != len(input) {
+		t.Fatal("frac clamping broken")
+	}
+	if len(TruncateDEF(input, -1)) != 0 || len(TruncateDEF(input, 2)) != len(input) {
+		t.Fatal("out-of-range frac must clamp")
+	}
+	// The copy must not alias the input.
+	a[0] = 'X'
+	if input[0] == 'X' {
+		t.Fatal("TruncateDEF must copy, not alias")
+	}
+}

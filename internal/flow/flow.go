@@ -4,9 +4,18 @@
 // ISPD-2018-style scorer. It also runs the two comparison flows of Table
 // III — the plain baseline (no cell movement) and the median-ILP state of
 // the art [18] — and records the wall-clock timings Figs. 2 and 3 report.
+//
+// Every Run* entry point takes a context.Context and honours Config.Budgets
+// — per-stage wall-clock caps that degrade the run instead of killing it: a
+// stage that runs out of time stops at a consistent boundary, the event is
+// recorded in Result.Degradations, and the pipeline continues with whatever
+// the stage completed. With a background context and zero budgets the
+// pipeline behaves (bit-identically) as if the robustness layer did not
+// exist.
 package flow
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -21,6 +30,24 @@ import (
 	"github.com/crp-eda/crp/internal/route/global"
 )
 
+// Budgets holds the per-stage wall-clock deadlines of a flow run. Zero
+// means unlimited. Budgets are caps, not reservations: a stage that
+// finishes early gives the remaining stages all the remaining time of the
+// enclosing Flow budget.
+type Budgets struct {
+	// Flow caps the whole pipeline (GR + middle + DR).
+	Flow time.Duration
+	// GR caps initial global routing (including RRR and final reroute).
+	GR time.Duration
+	// CRPIteration caps each CR&P iteration (crp.Config.IterTimeout).
+	CRPIteration time.Duration
+	// ILP caps every single ILP solve: CR&P's selection ILP and the
+	// legalizer's window ILPs.
+	ILP time.Duration
+	// DR caps detailed routing / evaluation.
+	DR time.Duration
+}
+
 // Config aggregates the per-stage configurations. Zero values mean each
 // stage's defaults.
 type Config struct {
@@ -29,6 +56,7 @@ type Config struct {
 	Detail   detail.Config
 	CRP      crp.Config
 	Baseline medianilp.Config
+	Budgets  Budgets
 }
 
 // DefaultConfig returns the experiment defaults (the paper's parameters).
@@ -51,6 +79,19 @@ type Timings struct {
 	CRPPhases   crp.PhaseTimes // zero unless the CR&P flow ran
 }
 
+// Degradation is one flow-level fault-tolerance event: a stage deadline, a
+// fallback, a quarantined worker, or a rolled-back iteration.
+type Degradation struct {
+	Stage  string // "gr", "crp", "sota", "dr"
+	Kind   string // stable identifier, e.g. "stage-deadline", "selection-fallback"
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (d Degradation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", d.Stage, d.Kind, d.Detail)
+}
+
 // Result is one evaluated flow run.
 type Result struct {
 	Metrics eval.Metrics
@@ -64,6 +105,36 @@ type Result struct {
 	BaselineStats *medianilp.Result
 	// GlobalStats reports the initial global routing.
 	GlobalStats global.Stats
+	// Degradations lists every fault-tolerance event of the run, in stage
+	// order; empty on a clean run.
+	Degradations []Degradation
+}
+
+// Degraded reports whether any fault-tolerance event fired during the run.
+func (r *Result) Degraded() bool { return len(r.Degradations) > 0 }
+
+// DeadlineHit reports whether any stage (or the whole flow) ran out of its
+// wall-clock budget.
+func (r *Result) DeadlineHit() bool {
+	for _, d := range r.Degradations {
+		switch d.Kind {
+		case "stage-deadline", "iteration-deadline", "run-cancelled":
+			return true
+		}
+	}
+	return false
+}
+
+// degrade appends a flow-level degradation.
+func (r *Result) degrade(stage, kind, detail string) {
+	r.Degradations = append(r.Degradations, Degradation{Stage: stage, Kind: kind, Detail: detail})
+}
+
+// absorbCRP folds a CR&P run's degradations into the flow result.
+func (r *Result) absorbCRP(stats *crp.Result) {
+	for _, d := range stats.Degradations {
+		r.degrade("crp", d.Kind, fmt.Sprintf("iter %d: %s", d.Iter, d.Detail))
+	}
 }
 
 // session holds the live state of a run, exposed so callers (the CLI) can
@@ -74,105 +145,157 @@ type session struct {
 	r *global.Router
 }
 
-// globalRoute runs stage 1.
-func globalRoute(d *db.Design, cfg Config) (session, global.Stats, time.Duration) {
+// flowCtx applies the whole-pipeline budget. The returned cancel must be
+// called even on early exit.
+func flowCtx(ctx context.Context, cfg Config) (context.Context, context.CancelFunc) {
+	if cfg.Budgets.Flow > 0 {
+		return context.WithTimeout(ctx, cfg.Budgets.Flow)
+	}
+	return context.WithCancel(ctx)
+}
+
+// stageCtx derives a stage context capped by d (unlimited when d is 0).
+func stageCtx(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
+}
+
+// crpConfig wires the flow budgets into the CR&P engine configuration,
+// keeping any explicitly-set engine value.
+func crpConfig(cfg Config, k int) crp.Config {
+	ccfg := cfg.CRP
+	if k > 0 {
+		ccfg.Iterations = k
+	}
+	if ccfg.IterTimeout == 0 {
+		ccfg.IterTimeout = cfg.Budgets.CRPIteration
+	}
+	if ccfg.ILPTimeLimit == 0 {
+		ccfg.ILPTimeLimit = cfg.Budgets.ILP
+	}
+	if ccfg.Legal.TimeLimit == 0 {
+		ccfg.Legal.TimeLimit = cfg.Budgets.ILP
+	}
+	return ccfg
+}
+
+// globalRoute runs stage 1 under the GR budget.
+func globalRoute(ctx context.Context, d *db.Design, cfg Config, res *Result) (session, global.Stats, time.Duration) {
 	t0 := time.Now()
+	gctx, cancel := stageCtx(ctx, cfg.Budgets.GR)
+	defer cancel()
 	g := grid.New(d, cfg.Grid)
 	r := global.New(d, g, cfg.Global)
-	st := r.RouteAll()
+	st := r.RouteAllCtx(gctx)
+	if st.Cancelled {
+		res.degrade("gr", "stage-deadline",
+			fmt.Sprintf("global routing stopped after %d nets; RRR/final passes may be short", st.RoutedNets))
+	}
 	return session{d, g, r}, st, time.Since(t0)
 }
 
-// detailRoute runs stage 3 and evaluates.
-func detailRoute(s session, cfg Config) (eval.Metrics, time.Duration) {
+// detailRoute runs stage 3 under the DR budget and evaluates.
+func detailRoute(ctx context.Context, s session, cfg Config, res *Result) (eval.Metrics, time.Duration) {
 	t0 := time.Now()
-	m := eval.Evaluate(s.d, s.g, s.r.Routes, cfg.Detail)
+	dctx, cancel := stageCtx(ctx, cfg.Budgets.DR)
+	defer cancel()
+	m := eval.EvaluateCtx(dctx, s.d, s.g, s.r.Routes, cfg.Detail)
+	if m.Truncated {
+		res.degrade("dr", "stage-deadline", "detailed routing truncated; metrics are a lower bound")
+	}
 	return m, time.Since(t0)
 }
 
 // RunBaseline executes GR → DR with no cell movement (the CUGR+TritonRoute
 // baseline column of Table III).
-func RunBaseline(d *db.Design, cfg Config) *Result {
-	s, gst, tGR := globalRoute(d, cfg)
-	m, tDR := detailRoute(s, cfg)
-	return &Result{
-		Metrics:     m,
-		GlobalStats: gst,
-		Timings: Timings{
-			GlobalRoute: tGR,
-			DetailRoute: tDR,
-			Total:       tGR + tDR,
-		},
+func RunBaseline(ctx context.Context, d *db.Design, cfg Config) *Result {
+	ctx, cancel := flowCtx(ctx, cfg)
+	defer cancel()
+	res := &Result{}
+	s, gst, tGR := globalRoute(ctx, d, cfg, res)
+	m, tDR := detailRoute(ctx, s, cfg, res)
+	res.Metrics = m
+	res.GlobalStats = gst
+	res.Timings = Timings{
+		GlobalRoute: tGR,
+		DetailRoute: tDR,
+		Total:       tGR + tDR,
 	}
+	return res
 }
 
 // RunCRP executes GR → CR&P×k → DR (the paper's flow). k overrides
 // cfg.CRP.Iterations when positive.
-func RunCRP(d *db.Design, k int, cfg Config) *Result {
-	ccfg := cfg.CRP
-	if k > 0 {
-		ccfg.Iterations = k
-	}
-	s, gst, tGR := globalRoute(d, cfg)
+func RunCRP(ctx context.Context, d *db.Design, k int, cfg Config) *Result {
+	ctx, cancel := flowCtx(ctx, cfg)
+	defer cancel()
+	res := &Result{}
+	s, gst, tGR := globalRoute(ctx, d, cfg, res)
 	t0 := time.Now()
-	engine := crp.New(s.d, s.g, s.r, ccfg)
-	stats := engine.Run()
+	engine := crp.New(s.d, s.g, s.r, crpConfig(cfg, k))
+	stats := engine.Run(ctx)
 	tMid := time.Since(t0)
-	m, tDR := detailRoute(s, cfg)
-	return &Result{
-		Metrics:     m,
-		GlobalStats: gst,
-		CRPStats:    stats,
-		Timings: Timings{
-			GlobalRoute: tGR,
-			Middle:      tMid,
-			DetailRoute: tDR,
-			Total:       tGR + tMid + tDR,
-			CRPPhases:   stats.Times(),
-		},
+	res.absorbCRP(stats)
+	m, tDR := detailRoute(ctx, s, cfg, res)
+	res.Metrics = m
+	res.GlobalStats = gst
+	res.CRPStats = stats
+	res.Timings = Timings{
+		GlobalRoute: tGR,
+		Middle:      tMid,
+		DetailRoute: tDR,
+		Total:       tGR + tMid + tDR,
+		CRPPhases:   stats.Times(),
 	}
+	return res
 }
 
 // RunSOTA executes GR → median-ILP sweep [18] → DR. A budget overrun
 // reports Failed with no metrics, mirroring the paper's test10 row.
-func RunSOTA(d *db.Design, cfg Config) *Result {
-	s, gst, tGR := globalRoute(d, cfg)
+func RunSOTA(ctx context.Context, d *db.Design, cfg Config) *Result {
+	ctx, cancel := flowCtx(ctx, cfg)
+	defer cancel()
+	res := &Result{}
+	s, gst, tGR := globalRoute(ctx, d, cfg, res)
 	t0 := time.Now()
-	bst := medianilp.Run(s.d, s.g, s.r, cfg.Baseline)
+	bst := medianilp.Run(ctx, s.d, s.g, s.r, cfg.Baseline)
 	tMid := time.Since(t0)
-	out := &Result{
-		GlobalStats:   gst,
-		BaselineStats: bst,
-		Timings: Timings{
-			GlobalRoute: tGR,
-			Middle:      tMid,
-			Total:       tGR + tMid,
-		},
+	res.GlobalStats = gst
+	res.BaselineStats = bst
+	res.Timings = Timings{
+		GlobalRoute: tGR,
+		Middle:      tMid,
+		Total:       tGR + tMid,
 	}
 	if bst.Failed {
-		out.Failed = true
-		return out
+		res.Failed = true
+		res.degrade("sota", "budget-failed", "median-ILP sweep exceeded its budget; design restored")
+		return res
 	}
-	m, tDR := detailRoute(s, cfg)
-	out.Metrics = m
-	out.Timings.DetailRoute = tDR
-	out.Timings.Total += tDR
-	return out
+	m, tDR := detailRoute(ctx, s, cfg, res)
+	res.Metrics = m
+	res.Timings.DetailRoute = tDR
+	res.Timings.Total += tDR
+	return res
 }
 
 // RunCRPWithOutputs runs the CR&P flow and writes the resulting DEF and
-// route-guide files (the framework's outputs in Fig. 1).
-func RunCRPWithOutputs(d *db.Design, k int, cfg Config, defOut, guideOut io.Writer) (*Result, error) {
-	ccfg := cfg.CRP
-	if k > 0 {
-		ccfg.Iterations = k
-	}
-	s, gst, tGR := globalRoute(d, cfg)
+// route-guide files (the framework's outputs in Fig. 1). The outputs are
+// written even when the run degraded — a deadline yields the best-so-far
+// placement and guides, never nothing.
+func RunCRPWithOutputs(ctx context.Context, d *db.Design, k int, cfg Config, defOut, guideOut io.Writer) (*Result, error) {
+	ctx, cancel := flowCtx(ctx, cfg)
+	defer cancel()
+	res := &Result{}
+	s, gst, tGR := globalRoute(ctx, d, cfg, res)
 	t0 := time.Now()
-	engine := crp.New(s.d, s.g, s.r, ccfg)
-	stats := engine.Run()
+	engine := crp.New(s.d, s.g, s.r, crpConfig(cfg, k))
+	stats := engine.Run(ctx)
 	tMid := time.Since(t0)
-	m, tDR := detailRoute(s, cfg)
+	res.absorbCRP(stats)
+	m, tDR := detailRoute(ctx, s, cfg, res)
 	if defOut != nil {
 		if err := lefdef.WriteDEF(defOut, s.d); err != nil {
 			return nil, fmt.Errorf("flow: writing DEF: %w", err)
@@ -183,16 +306,15 @@ func RunCRPWithOutputs(d *db.Design, k int, cfg Config, defOut, guideOut io.Writ
 			return nil, fmt.Errorf("flow: writing guides: %w", err)
 		}
 	}
-	return &Result{
-		Metrics:     m,
-		GlobalStats: gst,
-		CRPStats:    stats,
-		Timings: Timings{
-			GlobalRoute: tGR,
-			Middle:      tMid,
-			DetailRoute: tDR,
-			Total:       tGR + tMid + tDR,
-			CRPPhases:   stats.Times(),
-		},
-	}, nil
+	res.Metrics = m
+	res.GlobalStats = gst
+	res.CRPStats = stats
+	res.Timings = Timings{
+		GlobalRoute: tGR,
+		Middle:      tMid,
+		DetailRoute: tDR,
+		Total:       tGR + tMid + tDR,
+		CRPPhases:   stats.Times(),
+	}
+	return res, nil
 }

@@ -2,6 +2,7 @@ package flow
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func quickConfig() Config {
 }
 
 func TestRunBaseline(t *testing.T) {
-	r := RunBaseline(design(t, 1), quickConfig())
+	r := RunBaseline(context.Background(), design(t, 1), quickConfig())
 	if r.Metrics.WirelengthDBU <= 0 || r.Metrics.Vias <= 0 {
 		t.Fatalf("degenerate metrics: %+v", r.Metrics)
 	}
@@ -45,7 +46,7 @@ func TestRunBaseline(t *testing.T) {
 }
 
 func TestRunCRP(t *testing.T) {
-	r := RunCRP(design(t, 2), 2, quickConfig())
+	r := RunCRP(context.Background(), design(t, 2), 2, quickConfig())
 	if r.CRPStats == nil || len(r.CRPStats.Iterations) != 2 {
 		t.Fatalf("CRPStats = %+v", r.CRPStats)
 	}
@@ -61,7 +62,7 @@ func TestRunCRP(t *testing.T) {
 }
 
 func TestRunSOTA(t *testing.T) {
-	r := RunSOTA(design(t, 3), quickConfig())
+	r := RunSOTA(context.Background(), design(t, 3), quickConfig())
 	if r.Failed {
 		t.Fatal("unbudgeted SOTA run failed")
 	}
@@ -76,7 +77,7 @@ func TestRunSOTA(t *testing.T) {
 func TestRunSOTAFailure(t *testing.T) {
 	cfg := quickConfig()
 	cfg.Baseline.TimeBudget = time.Nanosecond
-	r := RunSOTA(design(t, 4), cfg)
+	r := RunSOTA(context.Background(), design(t, 4), cfg)
 	if !r.Failed {
 		t.Fatal("nanosecond budget did not fail")
 	}
@@ -94,8 +95,8 @@ func TestCRPBeatsOrMatchesBaselineScore(t *testing.T) {
 	better := 0
 	trials := 3
 	for seed := int64(10); seed < int64(10+trials); seed++ {
-		base := RunBaseline(design(t, seed), quickConfig())
-		crp := RunCRP(design(t, seed), 3, quickConfig())
+		base := RunBaseline(context.Background(), design(t, seed), quickConfig())
+		crp := RunCRP(context.Background(), design(t, seed), 3, quickConfig())
 		if crp.Metrics.DRVs.Total() > base.Metrics.DRVs.Total() {
 			t.Errorf("seed %d: CR&P added DRVs (%d -> %d)", seed,
 				base.Metrics.DRVs.Total(), crp.Metrics.DRVs.Total())
@@ -111,7 +112,7 @@ func TestCRPBeatsOrMatchesBaselineScore(t *testing.T) {
 
 func TestRunCRPWithOutputs(t *testing.T) {
 	var def, guides bytes.Buffer
-	r, err := RunCRPWithOutputs(design(t, 5), 1, quickConfig(), &def, &guides)
+	r, err := RunCRPWithOutputs(context.Background(), design(t, 5), 1, quickConfig(), &def, &guides)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestRunCRPWithOutputs(t *testing.T) {
 }
 
 func TestTimingsSumToTotal(t *testing.T) {
-	r := RunCRP(design(t, 6), 2, quickConfig())
+	r := RunCRP(context.Background(), design(t, 6), 2, quickConfig())
 	sum := r.Timings.GlobalRoute + r.Timings.Middle + r.Timings.DetailRoute
 	if sum != r.Timings.Total {
 		t.Errorf("stage times %v do not sum to total %v", sum, r.Timings.Total)
@@ -135,7 +136,7 @@ func TestTimingsSumToTotal(t *testing.T) {
 }
 
 func TestCRPPhaseTimesWithinMiddle(t *testing.T) {
-	r := RunCRP(design(t, 7), 2, quickConfig())
+	r := RunCRP(context.Background(), design(t, 7), 2, quickConfig())
 	if r.Timings.CRPPhases.Total() > r.Timings.Middle {
 		t.Errorf("phase sum %v exceeds middle stage %v",
 			r.Timings.CRPPhases.Total(), r.Timings.Middle)
@@ -148,8 +149,8 @@ func TestFreshDesignsIndependent(t *testing.T) {
 	// guard: running CR&P after baseline on the same object must not
 	// corrupt legality even though metrics will differ.
 	d := design(t, 8)
-	RunBaseline(d, quickConfig())
-	r := RunCRP(d, 1, quickConfig())
+	RunBaseline(context.Background(), d, quickConfig())
+	r := RunCRP(context.Background(), d, 1, quickConfig())
 	if err := d.Validate(); err != nil {
 		t.Fatalf("design corrupted: %v", err)
 	}

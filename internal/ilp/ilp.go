@@ -105,6 +105,10 @@ const (
 	Infeasible
 	// LimitReached means a node or time budget expired before the search
 	// finished. Solution values hold the best incumbent if HasIncumbent.
+	// An incumbent is only reported when it covers the whole model: on
+	// decomposed models the budget must expire in the final component for
+	// the partial searches to add up to a feasible full assignment —
+	// otherwise HasIncumbent is false and Values must not be read.
 	LimitReached
 )
 
@@ -172,7 +176,7 @@ func (m *Model) Solve(opt Options) Solution {
 
 	comps := m.components(opt.DisableDecomposition)
 	sol.Components = len(comps)
-	for _, comp := range comps {
+	for ci, comp := range comps {
 		cs := solveComponent(m, comp, budget)
 		sol.Nodes = budget.nodes
 		switch cs.status {
@@ -182,7 +186,19 @@ func (m *Model) Solve(opt Options) Solution {
 			return sol
 		case LimitReached:
 			sol.Status = LimitReached
-			sol.HasIncumbent = false
+			// The incumbent of the limited component completes a feasible
+			// full assignment only when every other component has already
+			// been solved (earlier components wrote their optima into
+			// Values; later ones never ran).
+			if cs.values != nil && ci == len(comps)-1 {
+				for i, v := range comp.vars {
+					sol.Values[v] = cs.values[i]
+				}
+				sol.Objective += cs.objective
+				sol.HasIncumbent = true
+			} else {
+				sol.HasIncumbent = false
+			}
 			return sol
 		}
 		for i, v := range comp.vars {
@@ -393,13 +409,24 @@ func solveComponent(m *Model, comp component, bud *budget) compSolution {
 		return relaxLP(m, comp, local, costs, fixed)
 	}
 
+	var best *compSolution
+	// limited reports budget exhaustion, carrying the best incumbent found
+	// so far (values non-nil) so callers can degrade gracefully instead of
+	// discarding the whole search.
+	limited := func() compSolution {
+		if best != nil {
+			return compSolution{status: LimitReached, values: best.values, objective: best.objective}
+		}
+		return compSolution{status: LimitReached}
+	}
+
 	root := &bbNode{fixed: make([]int8, nv)}
 	for i := range root.fixed {
 		root.fixed[i] = -1
 	}
 	st, x, obj := relax(root.fixed)
 	if !bud.spend() {
-		return compSolution{status: LimitReached}
+		return limited()
 	}
 	switch st {
 	case lpInfeasible:
@@ -410,7 +437,6 @@ func solveComponent(m *Model, comp component, bud *budget) compSolution {
 	}
 	root.bound = obj
 
-	var best *compSolution
 	consider := func(x []float64, obj float64) {
 		vals := make([]int8, nv)
 		for i, v := range x {
@@ -436,10 +462,7 @@ func solveComponent(m *Model, comp component, bud *budget) compSolution {
 		}
 		st, x, obj := relax(node.fixed)
 		if !bud.spend() {
-			if best != nil && bud.exhausted() {
-				return compSolution{status: LimitReached}
-			}
-			return compSolution{status: LimitReached}
+			return limited()
 		}
 		if st != lpOptimal {
 			continue

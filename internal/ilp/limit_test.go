@@ -1,0 +1,154 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// oddCycleModel builds a single-component packing model whose LP relaxation
+// is fractional everywhere (odd cycle of pairwise exclusions), forcing real
+// branch & bound work: maximise the number of selected vars subject to
+// x_i + x_{i+1} <= 1 around a cycle of length n (n odd).
+func oddCycleModel(n int) *Model {
+	m := NewModel()
+	vars := make([]VarID, n)
+	for i := 0; i < n; i++ {
+		vars[i] = m.AddBinary("", -1) // minimise => prefer selecting
+	}
+	for i := 0; i < n; i++ {
+		m.AddConstraint("edge", []Term{
+			{Var: vars[i], Coef: 1},
+			{Var: vars[(i+1)%n], Coef: 1},
+		}, LE, 1)
+	}
+	return m
+}
+
+func checkFeasible(t *testing.T, m *Model, sol Solution) {
+	t.Helper()
+	for _, c := range m.cons {
+		lhs := 0.0
+		for _, tm := range c.Terms {
+			if sol.Values[tm.Var] == 1 {
+				lhs += tm.Coef
+			}
+		}
+		if !opHolds(lhs, c.Op, c.RHS) {
+			t.Fatalf("incumbent violates %q: %v %v %v", c.Name, lhs, c.Op, c.RHS)
+		}
+	}
+}
+
+// TestLimitReachedIncumbent sweeps node budgets over a branching-heavy
+// model: every LimitReached solution that claims an incumbent must carry a
+// feasible assignment, an exhausted search with no incumbent must say so,
+// and once the budget clears the full search the result is Optimal and
+// matches the unlimited solve.
+func TestLimitReachedIncumbent(t *testing.T) {
+	m := oddCycleModel(15)
+	ref := m.Solve(Options{})
+	if ref.Status != Optimal {
+		t.Fatalf("unlimited solve: %v", ref.Status)
+	}
+
+	sawNoIncumbent, sawIncumbent := false, false
+	for budget := 1; budget <= ref.Nodes+4; budget++ {
+		sol := m.Solve(Options{MaxNodes: budget})
+		switch sol.Status {
+		case Optimal:
+			if sol.Objective != ref.Objective {
+				t.Fatalf("budget %d: objective %v, want %v", budget, sol.Objective, ref.Objective)
+			}
+		case LimitReached:
+			if sol.HasIncumbent {
+				sawIncumbent = true
+				checkFeasible(t, m, sol)
+				if sol.Objective < ref.Objective-1e-9 {
+					t.Fatalf("budget %d: incumbent %v beats optimum %v", budget, sol.Objective, ref.Objective)
+				}
+			} else {
+				sawNoIncumbent = true
+			}
+		default:
+			t.Fatalf("budget %d: unexpected status %v", budget, sol.Status)
+		}
+	}
+	if !sawNoIncumbent {
+		t.Error("no budget produced LimitReached without incumbent")
+	}
+	if !sawIncumbent {
+		t.Error("no budget produced LimitReached with an incumbent")
+	}
+}
+
+// TestLimitReachedTinyBudget pins the HasIncumbent=false contract: one node
+// is never enough to finish a fractional-rooted search, and callers must be
+// able to rely on Values being unread-able via Value().
+func TestLimitReachedTinyBudget(t *testing.T) {
+	m := oddCycleModel(5)
+	sol := m.Solve(Options{MaxNodes: 1})
+	if sol.Status != LimitReached {
+		t.Fatalf("status = %v, want LimitReached", sol.Status)
+	}
+	if sol.HasIncumbent {
+		t.Fatal("one node cannot certify an incumbent on a fractional root")
+	}
+	for v := 0; v < m.NumVars(); v++ {
+		if sol.Value(VarID(v)) {
+			t.Fatal("Value must report false with no incumbent")
+		}
+	}
+}
+
+// TestLimitReachedDecomposedNoFalseIncumbent: when the budget dies in a
+// non-final component, the solver must not claim an incumbent — the
+// remaining components were never assigned.
+func TestLimitReachedDecomposedNoFalseIncumbent(t *testing.T) {
+	m := NewModel()
+	// Component 1: an odd cycle that burns the whole budget.
+	a := make([]VarID, 9)
+	for i := range a {
+		a[i] = m.AddBinary("", -1)
+	}
+	for i := range a {
+		m.AddConstraint("c1", []Term{{Var: a[i], Coef: 1}, {Var: a[(i+1)%len(a)], Coef: 1}}, LE, 1)
+	}
+	// Component 2: trivially solvable, but never reached.
+	b := m.AddBinary("", -1)
+	m.AddConstraint("c2", []Term{{Var: b, Coef: 1}}, LE, 1)
+
+	sol := m.Solve(Options{MaxNodes: 2})
+	if sol.Status != LimitReached {
+		t.Fatalf("status = %v, want LimitReached", sol.Status)
+	}
+	if sol.HasIncumbent {
+		t.Fatal("incumbent claimed although a component was never solved")
+	}
+}
+
+// TestLimitIncumbentRandomised cross-checks incumbent feasibility on random
+// exclusion models across many seeds and budgets.
+func TestLimitIncumbentRandomised(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(6)
+		m := NewModel()
+		vars := make([]VarID, n)
+		for i := range vars {
+			vars[i] = m.AddBinary("", -rng.Float64())
+		}
+		for e := 0; e < 2*n; e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			m.AddConstraint("x", []Term{{Var: vars[i], Coef: 1}, {Var: vars[j], Coef: 1}}, LE, 1)
+		}
+		for budget := 1; budget <= 64; budget *= 4 {
+			sol := m.Solve(Options{MaxNodes: budget})
+			if sol.Status == LimitReached && sol.HasIncumbent {
+				checkFeasible(t, m, sol)
+			}
+		}
+	}
+}

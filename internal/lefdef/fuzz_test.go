@@ -58,3 +58,53 @@ func FuzzParseDEF(f *testing.F) {
 		ParseDEF(strings.NewReader(input), d.Tech, d.Macros)
 	})
 }
+
+// FuzzDEFRoundTrip is the torn-file fuzz target behind the robustness work:
+// any input that ParseDEF accepts must survive a full write → re-parse
+// round trip with the design intact (same cells at the same positions, same
+// nets), and any input it rejects must fail with an error, never a panic.
+func FuzzDEFRoundTrip(f *testing.F) {
+	d, err := ispd.Generate(ispd.Spec{
+		Name: "fuzzrt", Node: "n45", Cells: 60, Nets: 40,
+		Utilisation: 0.8, Seed: 79,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var def bytes.Buffer
+	if err := WriteDEF(&def, d); err != nil {
+		f.Fatal(err)
+	}
+	whole := def.String()
+	f.Add(whole)
+	// Torn-file seeds: prefixes of a valid DEF at several cut points.
+	for _, frac := range []int{10, 50, 90} {
+		f.Add(whole[:len(whole)*frac/100])
+	}
+	f.Add("")
+	f.Add("DESIGN x ;\nEND DESIGN\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		p1, err := ParseDEF(strings.NewReader(input), d.Tech, d.Macros)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		var out bytes.Buffer
+		if err := WriteDEF(&out, p1); err != nil {
+			t.Fatalf("accepted design failed to write: %v", err)
+		}
+		p2, err := ParseDEF(strings.NewReader(out.String()), d.Tech, d.Macros)
+		if err != nil {
+			t.Fatalf("written DEF failed to re-parse: %v\n%s", err, out.String())
+		}
+		if len(p2.Cells) != len(p1.Cells) || len(p2.Nets) != len(p1.Nets) {
+			t.Fatalf("round trip changed shape: %d/%d cells, %d/%d nets",
+				len(p1.Cells), len(p2.Cells), len(p1.Nets), len(p2.Nets))
+		}
+		for i := range p1.Cells {
+			a, b := p1.Cells[i], p2.Cells[i]
+			if a.Name != b.Name || a.Pos != b.Pos || a.Orient != b.Orient {
+				t.Fatalf("cell %d changed: %v@%v -> %v@%v", i, a.Name, a.Pos, b.Name, b.Pos)
+			}
+		}
+	})
+}

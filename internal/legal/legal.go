@@ -16,6 +16,8 @@ package legal
 
 import (
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"github.com/crp-eda/crp/internal/db"
 	"github.com/crp-eda/crp/internal/geom"
@@ -34,6 +36,13 @@ type Config struct {
 	// displacement, so distant slots never win — the cap only trims the
 	// ILP.
 	MaxSlotsPerConflict int
+	// MaxNodes / TimeLimit budget each relocation ILP; 0 means unlimited
+	// (the default — Eq. 11 models are tiny). When a budget expires the
+	// legalizer degrades per the robustness ladder: the solver's best
+	// incumbent is kept when it covers all conflict cells (it is legal by
+	// construction of the model), otherwise the candidate slot is dropped.
+	MaxNodes  int
+	TimeLimit time.Duration
 }
 
 // DefaultConfig returns the paper's experimental values.
@@ -54,10 +63,34 @@ type Candidate struct {
 	Displacement float64
 }
 
+// Stats counts the degradation-ladder outcomes of budgeted relocation
+// ILPs. All-zero when no budget is configured (the default).
+type Stats struct {
+	// IncumbentKept counts relocation solves that hit their budget but
+	// whose best incumbent was adopted (still a fully legal candidate).
+	IncumbentKept int64
+	// BudgetDropped counts candidate slots dropped because the budget
+	// expired with no usable incumbent.
+	BudgetDropped int64
+}
+
 // Legalizer generates candidates against a design.
 type Legalizer struct {
 	D   *db.Design
 	Cfg Config
+
+	// Degradation counters; atomics because Run is called concurrently
+	// from CR&P's worker pool.
+	incumbentKept atomic.Int64
+	budgetDropped atomic.Int64
+}
+
+// Stats snapshots the degradation counters.
+func (l *Legalizer) Stats() Stats {
+	return Stats{
+		IncumbentKept: l.incumbentKept.Load(),
+		BudgetDropped: l.budgetDropped.Load(),
+	}
 }
 
 // New creates a legalizer. Zero Config fields fall back to defaults.
@@ -311,13 +344,27 @@ func (l *Legalizer) relocateConflicts(c *db.Cell, pos geom.Point, conflicts []*d
 			m.AddConstraint("site-cap", terms, ilp.LE, 1)
 		}
 	}
-	sol := m.Solve(ilp.Options{})
-	if sol.Status != ilp.Optimal {
+	sol := m.Solve(ilp.Options{MaxNodes: l.Cfg.MaxNodes, TimeLimit: l.Cfg.TimeLimit})
+	switch {
+	case sol.Status == ilp.Optimal:
+		// Certified optimum; fall through to extraction.
+	case sol.Status == ilp.LimitReached && sol.HasIncumbent:
+		// Degradation ladder: the budget expired but the incumbent is an
+		// integer-feasible assignment of the model, i.e. every conflict
+		// cell takes exactly one pre-validated free slot and no site is
+		// double-booked — legal, just possibly not displacement-optimal.
+		l.incumbentKept.Add(1)
+	default:
+		// Infeasible (no way to clear the slot) or budget expired with no
+		// incumbent: drop the candidate slot entirely.
+		if sol.Status == ilp.LimitReached {
+			l.budgetDropped.Add(1)
+		}
 		return nil, 0, false
 	}
 	moves := make(map[int32]geom.Point, len(conflicts))
 	for i, vp := range vars {
-		if sol.Values[i] == 1 {
+		if sol.Value(ilp.VarID(i)) {
 			moves[vp.cell] = vp.pos
 		}
 	}

@@ -23,6 +23,7 @@
 package detail
 
 import (
+	"context"
 	"sort"
 
 	"github.com/crp-eda/crp/internal/db"
@@ -67,6 +68,10 @@ type Result struct {
 	Segments      int
 	Detours       int // segments placed in a neighbouring panel
 
+	// Truncated reports that the routing context expired mid-run: the
+	// metrics cover only the panels packed before cancellation.
+	Truncated bool
+
 	// NetWL and NetVias attribute wirelength and vias per net (indexed by
 	// net ID), feeding the evaluator's worst-net report.
 	NetWL   []int64
@@ -84,8 +89,15 @@ type segment struct {
 }
 
 // Route realises the committed global routes on the track grid and returns
-// the detailed metrics.
+// the detailed metrics (no deadline; see RouteCtx).
 func Route(d *db.Design, g *grid.Grid, routes []*global.Route, cfg Config) *Result {
+	return RouteCtx(context.Background(), d, g, routes, cfg)
+}
+
+// RouteCtx is Route under a cancellation context: panel packing stops at
+// the next panel boundary once ctx expires, and the result is flagged
+// Truncated so callers know the metrics are partial.
+func RouteCtx(ctx context.Context, d *db.Design, g *grid.Grid, routes []*global.Route, cfg Config) *Result {
 	if cfg.MaxPanelHops < 0 {
 		cfg.MaxPanelHops = 0
 	}
@@ -142,6 +154,10 @@ func Route(d *db.Design, g *grid.Grid, routes []*global.Route, cfg Config) *Resu
 			nPanels = g.NX
 		}
 		for panel := 0; panel < nPanels; panel++ {
+			if ctx.Err() != nil {
+				res.Truncated = true
+				return res
+			}
 			pending := byPanel[[2]int{layer, panel}]
 			if len(pending) == 0 {
 				continue

@@ -95,7 +95,15 @@ func (r *Router) mazeRoute(a, b geom.Point) *path {
 	visit(src, 0, -1)
 	h.push(heapItem{0, src})
 
+	pops := 0
 	for len(h) > 0 {
+		// A cancelled context aborts the search as "unreachable": the
+		// caller's pattern/forced-L fallback still produces a complete
+		// route, so demand accounting stays consistent. The check is
+		// amortised over 4096 pops to keep it off the hot path.
+		if pops++; pops&4095 == 0 && r.cancelled() {
+			return nil
+		}
 		it := h.pop()
 		if r.settled[it.node] == gen {
 			continue
@@ -191,6 +199,12 @@ func (r *Router) tryPlanar(h *pq, it heapItem, x, y, l, nx, ny, ex, ey int, visi
 func (r *Router) ripUpAndReroute() int {
 	passes := 0
 	for iter := 0; iter < r.Cfg.RRRIterations; iter++ {
+		// Cancellation is honoured only at pass boundaries: a pass rips up
+		// every victim before re-routing any, so stopping mid-pass would
+		// strand nets unrouted.
+		if r.cancelled() {
+			break
+		}
 		over := r.overflowedEdges()
 		if len(over) == 0 {
 			break

@@ -14,6 +14,7 @@
 package global
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -101,6 +102,14 @@ type Router struct {
 	// while netCostEpoch[id] == G.Epoch()+1; 0 marks an invalid entry.
 	netCost      []float64
 	netCostEpoch []uint64
+
+	// ctx is the cancellation context of the RouteAllCtx call in flight
+	// (nil outside one). Cancellation is cooperative and only observed at
+	// points where stopping leaves the grid consistent: between nets in the
+	// scheduling loops and between RRR passes, plus a periodic check inside
+	// the maze search (which simply reports "unreachable", letting the
+	// cheap pattern/forced-L fallback finish the net).
+	ctx context.Context
 }
 
 // New creates a router over an existing design and grid.
@@ -132,13 +141,29 @@ type Stats struct {
 	MazeRoutes    int
 	RRRPasses     int
 	Overflow      grid.OverflowStats
+	// Cancelled reports that the run's context expired before all phases
+	// completed; already-committed routes are valid, later nets may be
+	// unrouted and the RRR/final passes may have been cut short.
+	Cancelled bool
 }
 
-// RouteAll performs the initial global routing of every net followed by
+// cancelled reports whether the in-flight RouteAllCtx context has expired.
+func (r *Router) cancelled() bool {
+	return r.ctx != nil && r.ctx.Err() != nil
+}
+
+// RouteAll routes every net with no deadline (see RouteAllCtx).
+func (r *Router) RouteAll() Stats { return r.RouteAllCtx(context.Background()) }
+
+// RouteAllCtx performs the initial global routing of every net followed by
 // rip-up & reroute passes, committing demand as it goes. Nets are routed in
 // increasing HPWL order so short local nets claim their natural resources
-// before long nets start detouring around them.
-func (r *Router) RouteAll() Stats {
+// before long nets start detouring around them. Cancellation stops the run
+// at the next net (or pass) boundary with Stats.Cancelled set; the grid is
+// always left consistent with the committed routes.
+func (r *Router) RouteAllCtx(ctx context.Context) Stats {
+	r.ctx = ctx
+	defer func() { r.ctx = nil }()
 	var st Stats
 	order := make([]int32, 0, len(r.D.Nets))
 	for _, n := range r.D.Nets {
@@ -154,6 +179,10 @@ func (r *Router) RouteAll() Stats {
 		return order[a] < order[b]
 	})
 	for _, id := range order {
+		if r.cancelled() {
+			st.Cancelled = true
+			break
+		}
 		rt, usedMaze := r.routeNet(id)
 		r.Commit(rt)
 		st.RoutedNets++
@@ -165,6 +194,7 @@ func (r *Router) RouteAll() Stats {
 	}
 	st.RRRPasses = r.ripUpAndReroute()
 	r.finalReroute(order)
+	st.Cancelled = st.Cancelled || r.cancelled()
 	st.Overflow = r.G.Overflow()
 	return st
 }
@@ -176,6 +206,9 @@ func (r *Router) RouteAll() Stats {
 // solution.
 func (r *Router) finalReroute(order []int32) {
 	for pass := 0; pass < r.Cfg.FinalReroutePasses; pass++ {
+		if r.cancelled() {
+			return
+		}
 		byCost := append([]int32(nil), order...)
 		sort.Slice(byCost, func(a, b int) bool {
 			ca, cb := r.NetCost(byCost[a]), r.NetCost(byCost[b])
@@ -185,6 +218,9 @@ func (r *Router) finalReroute(order []int32) {
 			return byCost[a] < byCost[b]
 		})
 		for _, id := range byCost {
+			if r.cancelled() {
+				return // each net's rip-up/re-commit is atomic; stopping here is safe
+			}
 			old := r.RipUp(id)
 			if old == nil {
 				continue
