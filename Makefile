@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-json fuzz-smoke chaos
+.PHONY: check vet build test race bench-smoke bench-json fuzz-smoke chaos crash-chaos
 
 ## check: the full pre-merge gate — vet, build, race-enabled tests, bench
-## smoke, chaos suite, fuzz smoke.
-check: vet build race bench-smoke chaos fuzz-smoke
+## smoke, chaos suite, crash-chaos suite, fuzz smoke.
+check: vet build race bench-smoke chaos crash-chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,14 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestSelectFallback|TestSelectExpiredDeadline' ./internal/crp
 	$(GO) test -race -count=1 ./internal/faultinject
 
+## crash-chaos: the crash-safety suite — kill-at-every-checkpoint-boundary
+## resume bit-identity, corrupt-checkpoint fallback, and the supervisor
+## driving a really-crashing child to completion (see EXPERIMENTS.md,
+## "Kill/resume runbook").
+crash-chaos:
+	$(GO) test -race -count=1 -run 'TestResume|TestCheckpoint|TestSupervisor' ./internal/flow
+	$(GO) test -race -count=1 ./internal/checkpoint ./internal/supervise ./internal/atomicio
+
 ## fuzz-smoke: short coverage-guided runs of every fuzz target (one -fuzz
 ## per invocation — the go tool allows a single target at a time). The
 ## minimize cap keeps a new-coverage find from eating the whole budget.
@@ -44,3 +52,4 @@ fuzz-smoke:
 	$(GO) test ./internal/lefdef -fuzz 'FuzzParseLEF$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
 	$(GO) test ./internal/lefdef -fuzz 'FuzzParseDEF$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
 	$(GO) test ./internal/lefdef -fuzz 'FuzzDEFRoundTrip$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
+	$(GO) test ./internal/checkpoint -fuzz 'FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x

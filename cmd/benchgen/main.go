@@ -46,32 +46,16 @@ func main() {
 		}
 		lefPath := filepath.Join(*out, spec.Name+".lef")
 		defPath := filepath.Join(*out, spec.Name+".def")
-		if err := writeFile(lefPath, func(f *os.File) error {
-			return lefdef.WriteLEF(f, d.Tech, d.Macros)
-		}); err != nil {
+		if err := lefdef.WriteLEFFile(lefPath, d.Tech, d.Macros); err != nil {
 			fatal(err)
 		}
-		if err := writeFile(defPath, func(f *os.File) error {
-			return lefdef.WriteDEF(f, d)
-		}); err != nil {
+		if err := lefdef.WriteDEFFile(defPath, d); err != nil {
 			fatal(err)
 		}
 		st := d.Stats()
 		fmt.Printf("%s: %d cells, %d nets, %.1f%% utilisation -> %s, %s\n",
 			spec.Name, st.Cells, st.Nets, st.Utilisation*100, lefPath, defPath)
 	}
-}
-
-func writeFile(path string, write func(*os.File) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func fatal(err error) {

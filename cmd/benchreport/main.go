@@ -22,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/crp-eda/crp/internal/atomicio"
 	"github.com/crp-eda/crp/internal/db"
 	"github.com/crp-eda/crp/internal/flow"
 	"github.com/crp-eda/crp/internal/geom"
@@ -157,7 +158,9 @@ func main() {
 		os.Exit(1)
 	}
 	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	// Atomic replace: a crash mid-write must never tear a previous good
+	// BENCH_*.json snapshot.
+	if err := atomicio.WriteFileBytes(*out, buf); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}

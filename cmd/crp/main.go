@@ -7,22 +7,34 @@
 //
 //	crp -lef design.lef -def design.def [-k 10] [-out out.def] [-guide out.guide]
 //	    [-timeout 10m] [-iter-timeout 30s]
+//	    [-checkpoint-dir ckpt/] [-resume]
 //
 // Without -out/-guide the flow still runs and prints the metrics, so the
 // command doubles as an evaluator for the CR&P flow. With -timeout or
 // -iter-timeout the run degrades instead of hanging: on deadline the
 // best-so-far DEF/guide outputs are still written, the degradations are
 // printed, and the command exits non-zero.
+//
+// With -checkpoint-dir the run journals a crash-safe checkpoint after
+// global routing and after every CR&P iteration; -resume continues from
+// the newest usable checkpoint (bit-identically to an uninterrupted run)
+// and silently starts fresh when the directory holds none — so a
+// supervisor (cmd/crpd) can restart the same command line after a crash.
+// Output files are written atomically (temp + fsync + rename): a crash
+// mid-write never leaves a torn DEF or guide file behind.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"github.com/crp-eda/crp/internal/atomicio"
+	"github.com/crp-eda/crp/internal/checkpoint"
 	"github.com/crp-eda/crp/internal/eval"
 	"github.com/crp-eda/crp/internal/flow"
 	"github.com/crp-eda/crp/internal/grid"
@@ -45,11 +57,18 @@ func main() {
 		worst       = flag.Int("worst", 0, "print the N most expensive nets after routing")
 		timeout     = flag.Duration("timeout", time.Duration(0), "whole-flow wall-clock budget (0 = unlimited)")
 		iterTimeout = flag.Duration("iter-timeout", time.Duration(0), "per-CR&P-iteration budget (0 = unlimited)")
+		ckptDir     = flag.String("checkpoint-dir", "", "journal crash-safe checkpoints into this directory")
+		ckptKeep    = flag.Int("checkpoint-keep", 0, "checkpoints to retain (0 = default 2)")
+		resume      = flag.Bool("resume", false, "continue from the newest checkpoint in -checkpoint-dir (fresh start if none)")
 	)
 	flag.Parse()
 	if *lefPath == "" || *defPath == "" {
 		fmt.Fprintln(os.Stderr, "crp: -lef and -def are required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "crp: -resume requires -checkpoint-dir")
 		os.Exit(2)
 	}
 
@@ -100,43 +119,63 @@ func main() {
 		return
 	}
 
-	var defW, guideW io.Writer
-	var files []*os.File
-	if *outDEF != "" {
-		f, err := os.Create(*outDEF)
+	var ck *flow.Checkpointing
+	if *ckptDir != "" {
+		mgr, err := checkpoint.Open(*ckptDir, *ckptKeep)
 		if err != nil {
 			fatal(err)
 		}
+		ck = &flow.Checkpointing{Manager: mgr}
+	}
+
+	// Outputs are committed atomically after the flow finishes: a crash at
+	// any point leaves either the previous file or the new one, never a
+	// torn in-between.
+	var defW, guideW io.Writer
+	var outs []*atomicio.File
+	if *outDEF != "" {
+		f, err := atomicio.Create(*outDEF)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Abort()
 		defW = f
-		files = append(files, f)
+		outs = append(outs, f)
 	}
 	if *outGuide != "" {
-		f, err := os.Create(*outGuide)
+		f, err := atomicio.Create(*outGuide)
 		if err != nil {
 			fatal(err)
 		}
+		defer f.Abort()
 		guideW = f
-		files = append(files, f)
+		outs = append(outs, f)
 	}
-	// RunCRPWithOutputs writes the DEF/guides even on a degraded run, so a
-	// deadline still yields the best-so-far outputs before the non-zero exit.
-	res, err := flow.RunCRPWithOutputs(ctx, d, *k, cfg, defW, guideW)
+
+	// The flow writes the DEF/guides even on a degraded run, so a deadline
+	// still yields the best-so-far outputs before the non-zero exit.
+	var res *flow.Result
+	if *resume {
+		res, err = flow.Resume(ctx, d, *k, cfg, ck, defW, guideW)
+		if errors.Is(err, flow.ErrNoCheckpoint) {
+			fmt.Println("no checkpoint to resume; starting fresh")
+			res, err = flow.RunCRPCheckpointed(ctx, d, *k, cfg, ck, defW, guideW)
+		}
+	} else {
+		res, err = flow.RunCRPCheckpointed(ctx, d, *k, cfg, ck, defW, guideW)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	for _, f := range files {
-		if err := f.Close(); err != nil {
+	for _, f := range outs {
+		if err := f.Commit(); err != nil {
 			fatal(err)
 		}
 	}
 
 	fmt.Printf("CR&P k=%d: %v\n", *k, res.Metrics)
-	moved := 0
-	for _, it := range res.CRPStats.Iterations {
-		moved += it.MovedCells
-	}
 	fmt.Printf("moved %d cells; runtime: GR %.2fs, CR&P %.2fs, DR %.2fs\n",
-		moved,
+		res.CRPStats.TotalMoved,
 		res.Timings.GlobalRoute.Seconds(),
 		res.Timings.Middle.Seconds(),
 		res.Timings.DetailRoute.Seconds())

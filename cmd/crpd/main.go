@@ -1,0 +1,83 @@
+// Command crpd is the self-healing run supervisor: it executes a child
+// command (typically a checkpointed crp invocation) and restarts it with
+// exponential backoff and jitter when it crashes, up to a retry cap.
+// Combined with `crp -checkpoint-dir D -resume`, a run that is killed at
+// any point — OOM, node reboot, injected fault — completes with outputs
+// bit-identical to an uninterrupted run, losing at most one CR&P iteration
+// of work per crash.
+//
+// Usage:
+//
+//	crpd [-max-attempts 5] [-backoff 1s] [-max-backoff 30s] [-jitter-seed 1]
+//	     [-report report.json] -- crp -lef ... -def ... -checkpoint-dir ckpt -resume
+//
+// The child's stdout/stderr pass through. Every attempt is logged to
+// stderr, and -report writes the structured attempt history (atomically)
+// as JSON. Exit status: 0 when the child eventually succeeded, 1 when the
+// retry cap was exhausted, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/crp-eda/crp/internal/atomicio"
+	"github.com/crp-eda/crp/internal/supervise"
+)
+
+func main() {
+	var (
+		maxAttempts = flag.Int("max-attempts", 5, "total executions before giving up")
+		base        = flag.Duration("backoff", time.Second, "delay before the first retry (doubles per retry)")
+		maxBackoff  = flag.Duration("max-backoff", 30*time.Second, "backoff growth cap")
+		jitterSeed  = flag.Int64("jitter-seed", 1, "seed for the deterministic backoff jitter")
+		reportPath  = flag.String("report", "", "write the JSON attempt report here (atomic)")
+	)
+	flag.Parse()
+	argv := flag.Args()
+	if len(argv) == 0 {
+		fmt.Fprintln(os.Stderr, "crpd: no child command given (crpd [flags] -- cmd args...)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	job, err := supervise.Command(argv, os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crpd:", err)
+		os.Exit(2)
+	}
+	rep := supervise.Run(supervise.Config{
+		MaxAttempts: *maxAttempts,
+		BaseBackoff: *base,
+		MaxBackoff:  *maxBackoff,
+		JitterSeed:  *jitterSeed,
+		OnAttempt: func(at supervise.Attempt) {
+			if at.Err == "" {
+				fmt.Fprintf(os.Stderr, "crpd: attempt %d succeeded in %s\n", at.N, at.Duration.Round(time.Millisecond))
+				return
+			}
+			fmt.Fprintf(os.Stderr, "crpd: attempt %d failed (exit %d) after %s: %s\n",
+				at.N, at.ExitCode, at.Duration.Round(time.Millisecond), at.Err)
+			if at.Backoff > 0 {
+				fmt.Fprintf(os.Stderr, "crpd: retrying in %s\n", at.Backoff.Round(time.Millisecond))
+			}
+		},
+	}, job)
+
+	if *reportPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = atomicio.WriteFileBytes(*reportPath, append(data, '\n'))
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crpd: writing report:", err)
+		}
+	}
+	if !rep.Succeeded {
+		fmt.Fprintf(os.Stderr, "crpd: giving up after %d attempt(s)\n", len(rep.Attempts))
+		os.Exit(1)
+	}
+}

@@ -12,13 +12,16 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"github.com/crp-eda/crp/internal/atomicio"
 	"github.com/crp-eda/crp/internal/experiments"
 )
 
@@ -33,6 +36,7 @@ func main() {
 		circuits = flag.String("circuits", "", "comma-separated suite indices 0-9 (default all)")
 		budget   = flag.Duration("sota-budget", 90*time.Second, "wall-clock budget for the [18] substitute (0 = unlimited)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		outPath  = flag.String("out", "", "also write the report here (atomic: temp + fsync + rename)")
 	)
 	flag.Parse()
 	if *all {
@@ -43,13 +47,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *table2 {
-		if err := experiments.Table2(os.Stdout, *scale); err != nil {
+	// The report goes to stdout and, with -out, to a tee buffer committed
+	// atomically at the end — a killed sweep never leaves a torn report.
+	var tee bytes.Buffer
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		out = io.MultiWriter(os.Stdout, &tee)
+	}
+	commit := func() {
+		if *outPath == "" {
+			return
+		}
+		if err := atomicio.WriteFileBytes(*outPath, tee.Bytes()); err != nil {
 			fatal(err)
 		}
-		fmt.Println()
+	}
+
+	if *table2 {
+		if err := experiments.Table2(out, *scale); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out)
 	}
 	if !*table3 && !*fig2 && !*fig3 {
+		commit()
 		return
 	}
 
@@ -73,16 +94,17 @@ func main() {
 		fatal(err)
 	}
 	if *table3 {
-		experiments.Table3(os.Stdout, results)
-		fmt.Println()
+		experiments.Table3(out, results)
+		fmt.Fprintln(out)
 	}
 	if *fig2 {
-		experiments.Fig2(os.Stdout, results)
-		fmt.Println()
+		experiments.Fig2(out, results)
+		fmt.Fprintln(out)
 	}
 	if *fig3 {
-		experiments.Fig3(os.Stdout, results)
+		experiments.Fig3(out, results)
 	}
+	commit()
 }
 
 func fatal(err error) {

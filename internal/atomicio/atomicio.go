@@ -1,0 +1,124 @@
+// Package atomicio provides crash-safe file replacement: content is written
+// to a temporary file in the destination directory, flushed and fsynced,
+// then renamed over the target, and the directory entry is fsynced. A crash
+// at any point leaves either the previous file intact or the new one
+// complete — never a torn or empty file where a good one used to be.
+//
+// Every file the flow emits (DEF, route guides, benchmark JSON, checkpoint
+// snapshots) goes through this package, which is what makes the flow's
+// outputs safe to consume from a supervisor that may kill and restart it.
+package atomicio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is an in-flight atomic replacement of a target path. Write into it,
+// then either Commit (fsync + rename into place) or Abort (discard). A File
+// that is garbage-collected without Commit leaves the target untouched
+// except for a stray temp file, which Abort in a defer prevents.
+type File struct {
+	path string   // final destination
+	tmp  string   // temporary file being written
+	f    *os.File // nil once committed or aborted
+	bw   *bufio.Writer
+}
+
+// Create starts an atomic replacement of path. The temporary file is created
+// in path's directory so the final rename cannot cross filesystems.
+func Create(path string) (*File, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: %w", err)
+	}
+	return &File{path: path, tmp: f.Name(), f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+// Write implements io.Writer.
+func (a *File) Write(p []byte) (int, error) {
+	if a.f == nil {
+		return 0, fmt.Errorf("atomicio: write after commit/abort of %s", a.path)
+	}
+	return a.bw.Write(p)
+}
+
+// Commit flushes, fsyncs and renames the temporary file over the target,
+// then fsyncs the directory so the rename itself is durable.
+func (a *File) Commit() error {
+	if a.f == nil {
+		return fmt.Errorf("atomicio: double commit of %s", a.path)
+	}
+	f := a.f
+	a.f = nil
+	if err := a.bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(a.tmp)
+		return fmt.Errorf("atomicio: flushing %s: %w", a.path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(a.tmp)
+		return fmt.Errorf("atomicio: fsync %s: %w", a.path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(a.tmp)
+		return fmt.Errorf("atomicio: closing %s: %w", a.path, err)
+	}
+	if err := os.Rename(a.tmp, a.path); err != nil {
+		os.Remove(a.tmp)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	syncDir(filepath.Dir(a.path))
+	return nil
+}
+
+// Abort discards the temporary file, leaving the target untouched. Safe to
+// call after Commit (it is then a no-op), so `defer a.Abort()` pairs with a
+// conditional Commit.
+func (a *File) Abort() {
+	if a.f == nil {
+		return
+	}
+	a.f.Close()
+	os.Remove(a.tmp)
+	a.f = nil
+}
+
+// WriteFile atomically replaces path with whatever write emits. If write
+// (or any I/O step) fails, the previous file content is left untouched.
+func WriteFile(path string, write func(w io.Writer) error) error {
+	a, err := Create(path)
+	if err != nil {
+		return err
+	}
+	defer a.Abort()
+	if err := write(a); err != nil {
+		return err
+	}
+	return a.Commit()
+}
+
+// WriteFileBytes atomically replaces path with data.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash. Best
+// effort: some platforms/filesystems refuse to sync directories, and a
+// failure there only narrows the durability window — it never corrupts.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,120 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.def")
+	if err := WriteFileBytes(path, []byte("good v1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, []byte("good v2\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good v2\n" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestFailedWriteLeavesPreviousContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.def")
+	if err := WriteFileBytes(path, []byte("previous good\n")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "half-written garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "previous good\n" {
+		t.Fatalf("previous content clobbered: %q", got)
+	}
+}
+
+func TestAbortedFileLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.def")
+	a, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(a, "doomed")
+	a.Abort()
+	a.Abort() // idempotent
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("directory not clean after abort: %v", entries)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("target exists after abort: %v", err)
+	}
+}
+
+func TestCommitThenAbortIsNoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.def")
+	a, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(a, "kept")
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	a.Abort()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "kept" {
+		t.Fatalf("content = %q", got)
+	}
+	if _, err := a.Write([]byte("late")); err == nil {
+		t.Fatal("write after commit must fail")
+	}
+	if err := a.Commit(); err == nil {
+		t.Fatal("double commit must fail")
+	}
+}
+
+func TestNoTempFilesLeftBehind(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	if err := WriteFileBytes(path, []byte("{}\n")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("stray temp file %q after commit", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected exactly the target, got %v", entries)
+	}
+}
+
+func TestCreateInMissingDirFails(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "no", "such", "dir", "f")); err == nil {
+		t.Fatal("Create in a missing directory must fail, not invent paths")
+	}
+}

@@ -1,0 +1,424 @@
+// Package checkpoint makes the CR&P flow's committed progress durable.
+//
+// A Snapshot captures every input the remaining iterations depend on — cell
+// positions and orientations, the Algorithm 1 history sets, per-net global
+// routes, the grid's demand arrays, the iteration counter, the RNG stream
+// position and the accumulated degradation log — at a transactionally
+// consistent boundary (after GR, and after every committed CR&P iteration).
+// Restoring a Snapshot and continuing is bit-identical to never having
+// stopped; internal/flow.Resume is the consumer.
+//
+// The on-disk format is versioned and checksummed: an 8-byte magic, a
+// little-endian version word, the payload, and a trailing CRC-64/ECMA of the
+// payload. Decode never panics on corrupt or truncated input — it is fuzzed
+// (FuzzCheckpointDecode) — and refuses anything whose checksum, version or
+// internal structure does not hold, which is how a torn write is detected
+// and an older checkpoint chosen instead (see Manager).
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/grid"
+	"github.com/crp-eda/crp/internal/route/global"
+)
+
+// Version is the current on-disk format version.
+const Version = 1
+
+// magic identifies a checkpoint file; the trailing newline catches
+// text-mode/transfer mangling the way PNG's magic does.
+const magic = "CRPCKP1\n"
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Degradation mirrors flow.Degradation without importing it (flow imports
+// this package): one recorded fault-tolerance event of the run so far.
+type Degradation struct {
+	Stage  string
+	Kind   string
+	Detail string
+}
+
+// Snapshot is the resumable flow state at an iteration boundary.
+type Snapshot struct {
+	// DesignName, Cells and Nets bind the checkpoint to its design; Resume
+	// refuses a checkpoint whose identity does not match the loaded input.
+	DesignName string
+	Cells      int
+	Nets       int
+	// K is the planned total number of CR&P iterations; Seed the Algorithm 1
+	// selection seed. Both are config echoes validated on resume — resuming
+	// under a different configuration would silently diverge.
+	K    int
+	Seed int64
+	// Iter is the number of committed CR&P iterations (0 = post-GR).
+	Iter int
+	// RNGDraws is the selection RNG stream position (crp.State).
+	RNGDraws uint64
+	// TotalMoved accumulates moved cells over committed iterations, so a
+	// resumed run can report the whole run's total.
+	TotalMoved int
+
+	Pos      []geom.Point
+	Orient   []db.Orient
+	Critical []bool
+	Moved    []bool
+	// Routes is indexed by net ID; nil entries are unrouted nets.
+	Routes []*global.Route
+	Demand grid.DemandState
+
+	Degradations []Degradation
+}
+
+// Encode writes the snapshot to w in the versioned, checksummed format.
+func Encode(w io.Writer, s *Snapshot) error {
+	if len(s.Pos) != s.Cells || len(s.Orient) != s.Cells ||
+		len(s.Critical) != s.Cells || len(s.Moved) != s.Cells {
+		return fmt.Errorf("checkpoint: cell-indexed fields disagree with Cells=%d", s.Cells)
+	}
+	if len(s.Routes) != s.Nets {
+		return fmt.Errorf("checkpoint: %d routes for Nets=%d", len(s.Routes), s.Nets)
+	}
+	var e encoder
+	e.str(s.DesignName)
+	e.uv(uint64(s.Cells))
+	e.uv(uint64(s.Nets))
+	e.uv(uint64(s.K))
+	e.sv(s.Seed)
+	e.uv(uint64(s.Iter))
+	e.uv(s.RNGDraws)
+	e.uv(uint64(s.TotalMoved))
+	for _, p := range s.Pos {
+		e.sv(int64(p.X))
+		e.sv(int64(p.Y))
+	}
+	e.bits(boolsFromOrient(s.Orient))
+	e.bits(s.Critical)
+	e.bits(s.Moved)
+	for _, rt := range s.Routes {
+		if rt == nil {
+			e.uv(0)
+			continue
+		}
+		e.uv(1)
+		e.pts3(rt.Wires)
+		e.pts3(rt.Vias)
+	}
+	e.uv(uint64(s.Demand.NX))
+	e.uv(uint64(s.Demand.NY))
+	e.uv(uint64(s.Demand.NL))
+	for _, layer := range s.Demand.Wire {
+		e.floats(layer)
+	}
+	for _, layer := range s.Demand.Vias {
+		e.floats(layer)
+	}
+	e.uv(uint64(len(s.Degradations)))
+	for _, d := range s.Degradations {
+		e.str(d.Stage)
+		e.str(d.Kind)
+		e.str(d.Detail)
+	}
+
+	if _, err := io.WriteString(w, magic); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], Version)
+	if _, err := w.Write(ver[:]); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := w.Write(e.buf); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], crc64.Checksum(e.buf, crcTable))
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ErrCorrupt marks a checkpoint whose framing, checksum or structure is
+// invalid — the torn-write fault class the Manager falls back across.
+var ErrCorrupt = errors.New("checkpoint: corrupt or truncated")
+
+// corrupt wraps a detail into ErrCorrupt.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Decode reads a snapshot, verifying magic, version and checksum. It never
+// panics on malformed input.
+func Decode(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(data) < len(magic)+4+8 {
+		return nil, corrupt("%d bytes is shorter than the smallest valid checkpoint", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, corrupt("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != Version {
+		return nil, fmt.Errorf("checkpoint: version %d not supported (have %d)", v, Version)
+	}
+	payload := data[len(magic)+4 : len(data)-8]
+	want := binary.LittleEndian.Uint64(data[len(data)-8:])
+	if got := crc64.Checksum(payload, crcTable); got != want {
+		return nil, corrupt("checksum mismatch (%016x != %016x)", got, want)
+	}
+
+	d := decoder{buf: payload}
+	s := &Snapshot{}
+	s.DesignName = d.str()
+	s.Cells = d.count(2) // ≥2 bytes per cell (two varints) downstream
+	s.Nets = d.count(1)
+	s.K = int(d.uv())
+	s.Seed = d.sv()
+	s.Iter = int(d.uv())
+	s.RNGDraws = d.uv()
+	s.TotalMoved = int(d.uv())
+	if d.err == nil {
+		s.Pos = make([]geom.Point, s.Cells)
+		for i := range s.Pos {
+			s.Pos[i] = geom.Pt(int(d.sv()), int(d.sv()))
+		}
+	}
+	s.Orient = orientFromBools(d.bits(s.Cells))
+	s.Critical = d.bits(s.Cells)
+	s.Moved = d.bits(s.Cells)
+	if d.err == nil {
+		s.Routes = make([]*global.Route, s.Nets)
+		for i := range s.Routes {
+			if d.uv() == 0 {
+				continue
+			}
+			if d.err != nil {
+				break
+			}
+			s.Routes[i] = &global.Route{
+				NetID: int32(i),
+				Wires: d.pts3(),
+				Vias:  d.pts3(),
+			}
+		}
+	}
+	s.Demand.NX = d.count(1)
+	s.Demand.NY = d.count(1)
+	s.Demand.NL = d.count(1)
+	if d.err == nil {
+		n := s.Demand.NX * s.Demand.NY
+		s.Demand.Wire = make([][]float64, 0, s.Demand.NL)
+		for l := 0; l < s.Demand.NL && d.err == nil; l++ {
+			s.Demand.Wire = append(s.Demand.Wire, d.floats(n))
+		}
+		if s.Demand.NL > 0 {
+			s.Demand.Vias = make([][]float64, 0, s.Demand.NL-1)
+			for l := 0; l < s.Demand.NL-1 && d.err == nil; l++ {
+				s.Demand.Vias = append(s.Demand.Vias, d.floats(n))
+			}
+		}
+	}
+	nDeg := d.count(3)
+	if d.err == nil {
+		s.Degradations = make([]Degradation, 0, nDeg)
+		for i := 0; i < nDeg && d.err == nil; i++ {
+			s.Degradations = append(s.Degradations, Degradation{
+				Stage:  d.str(),
+				Kind:   d.str(),
+				Detail: d.str(),
+			})
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, corrupt("%d trailing bytes", len(d.buf))
+	}
+	return s, nil
+}
+
+// boolsFromOrient packs orientations as bits (only N and FS exist).
+func boolsFromOrient(or []db.Orient) []bool {
+	out := make([]bool, len(or))
+	for i, o := range or {
+		out[i] = o == db.FS
+	}
+	return out
+}
+
+func orientFromBools(bs []bool) []db.Orient {
+	out := make([]db.Orient, len(bs))
+	for i, b := range bs {
+		if b {
+			out[i] = db.FS
+		}
+	}
+	return out
+}
+
+// encoder accumulates the payload.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) uv(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) sv(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) str(s string) { e.uv(uint64(len(s))); e.buf = append(e.buf, s...) }
+
+func (e *encoder) bits(bs []bool) {
+	packed := make([]byte, (len(bs)+7)/8)
+	for i, b := range bs {
+		if b {
+			packed[i/8] |= 1 << (i % 8)
+		}
+	}
+	e.buf = append(e.buf, packed...)
+}
+
+func (e *encoder) pts3(ps []geom.Point3) {
+	e.uv(uint64(len(ps)))
+	for _, p := range ps {
+		e.sv(int64(p.X))
+		e.sv(int64(p.Y))
+		e.sv(int64(p.L))
+	}
+}
+
+func (e *encoder) floats(fs []float64) {
+	e.uv(uint64(len(fs)))
+	for _, f := range fs {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(f))
+	}
+}
+
+// decoder consumes the payload with sticky errors; every length read is
+// bounded by the remaining buffer so corrupt counts cannot drive huge
+// allocations.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = corrupt("bad uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) sv() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.err = corrupt("bad varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// count reads a uvarint that sizes a downstream collection needing at least
+// minBytes payload bytes per element, rejecting counts the remaining buffer
+// cannot possibly satisfy.
+func (d *decoder) count(minBytes int) int {
+	v := d.uv()
+	if d.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if v > uint64(len(d.buf)/minBytes)+1 {
+		d.err = corrupt("count %d exceeds remaining payload", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) str() string {
+	n := d.count(1)
+	if d.err != nil {
+		return ""
+	}
+	if n > len(d.buf) {
+		d.err = corrupt("string of %d bytes with %d remaining", n, len(d.buf))
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) bits(n int) []bool {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || (n+7)/8 > len(d.buf) {
+		d.err = corrupt("bitset of %d bits with %d bytes remaining", n, len(d.buf))
+		return nil
+	}
+	packed := d.buf[:(n+7)/8]
+	d.buf = d.buf[(n+7)/8:]
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = packed[i/8]&(1<<(i%8)) != 0
+	}
+	return out
+}
+
+func (d *decoder) pts3() []geom.Point3 {
+	n := d.count(3)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]geom.Point3, 0, n)
+	for i := 0; i < n; i++ {
+		x, y, l := d.sv(), d.sv(), d.sv()
+		if d.err != nil {
+			return nil
+		}
+		out = append(out, geom.Pt3(int(x), int(y), int(l)))
+	}
+	return out
+}
+
+func (d *decoder) floats(want int) []float64 {
+	n := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	if n != want {
+		d.err = corrupt("float block of %d values, want %d", n, want)
+		return nil
+	}
+	if n*8 > len(d.buf) {
+		d.err = corrupt("float block of %d values with %d bytes remaining", n, len(d.buf))
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.buf[i*8:]))
+	}
+	d.buf = d.buf[n*8:]
+	return out
+}

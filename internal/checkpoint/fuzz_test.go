@@ -1,0 +1,39 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode asserts the decoder's crash-safety contract: no
+// input — valid, corrupt, truncated, or adversarial — may panic it or make
+// it allocate unboundedly, and any snapshot it does accept must re-encode
+// to the exact bytes it was decoded from (the format is canonical).
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := &bytes.Buffer{}
+	if err := Encode(valid, sample()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(append([]byte(magic), 1, 0, 0, 0))
+	if b := valid.Bytes(); len(b) > 20 {
+		f.Add(b[:len(b)/2])    // truncated payload
+		f.Add(append(b, 0, 1)) // trailing garbage
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var re bytes.Buffer
+		if err := Encode(&re, s); err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re.Bytes(), data) {
+			t.Fatalf("decode/encode not canonical: %d bytes in, %d bytes out", len(data), re.Len())
+		}
+	})
+}

@@ -207,6 +207,10 @@ type Engine struct {
 	L   *legal.Legalizer
 	Cfg Config
 	rng *rand.Rand
+	// src is the counted source behind rng: it tallies every value drawn so
+	// a checkpoint can record the stream position and a resumed engine can
+	// fast-forward to it (see State/RestoreState).
+	src *countedSource
 
 	// est holds one estimation scratch per worker slot; parallelFor hands
 	// every worker a stable index, so phase-3 costing runs allocation-lean
@@ -258,13 +262,15 @@ func New(d *db.Design, g *grid.Grid, r *global.Router, cfg Config) *Engine {
 	for i := range est {
 		est[i] = &estScratch{}
 	}
+	src := newCountedSource(cfg.Seed)
 	e := &Engine{
 		D:   d,
 		G:   g,
 		R:   r,
 		L:   legal.New(d, cfg.Legal),
 		Cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		rng: rand.New(src),
+		src: src,
 		est: est,
 	}
 	sumW, sumV := e.routeDemand()

@@ -300,6 +300,26 @@ func (d *Design) MarkCritical(id int32) { d.criticalHist[id] = true }
 // MarkMoved records that a cell was moved this iteration.
 func (d *Design) MarkMoved(id int32) { d.movedSet[id] = true }
 
+// ExportHistory returns copies of the Algorithm 1 history sets (hist_c,
+// hist_m), indexed by cell ID — checkpointed so a resumed run re-selects
+// critical cells with the same damping as the uninterrupted one.
+func (d *Design) ExportHistory() (critical, moved []bool) {
+	critical = append([]bool(nil), d.criticalHist...)
+	moved = append([]bool(nil), d.movedSet...)
+	return critical, moved
+}
+
+// ImportHistory restores the history sets from a prior ExportHistory.
+func (d *Design) ImportHistory(critical, moved []bool) error {
+	if len(critical) != len(d.Cells) || len(moved) != len(d.Cells) {
+		return fmt.Errorf("db: history import has %d/%d entries, design has %d cells",
+			len(critical), len(moved), len(d.Cells))
+	}
+	copy(d.criticalHist, critical)
+	copy(d.movedSet, moved)
+	return nil
+}
+
 // ResetHistory clears both history sets (used between independent runs).
 func (d *Design) ResetHistory() {
 	for i := range d.criticalHist {

@@ -253,6 +253,35 @@ func (d *Design) FreeSitesIn(row int32, x0, x1, w int, ignore map[int32]bool) []
 	return out
 }
 
+// ExportPositions returns copies of every cell's position and orientation,
+// indexed by cell ID — the placement half of a durable checkpoint.
+func (d *Design) ExportPositions() ([]geom.Point, []Orient) {
+	pos := make([]geom.Point, len(d.Cells))
+	or := make([]Orient, len(d.Cells))
+	for i, c := range d.Cells {
+		pos[i] = c.Pos
+		or[i] = c.Orient
+	}
+	return pos, or
+}
+
+// ImportPositions sets every cell's position and orientation from a prior
+// ExportPositions and rebuilds the occupancy index. It is the restore half
+// of a durable checkpoint: unlike MoveCells it bypasses per-move legality
+// (the caller re-validates the whole design afterwards, e.g. through the
+// CR&P invariant checker).
+func (d *Design) ImportPositions(pos []geom.Point, or []Orient) error {
+	if len(pos) != len(d.Cells) || len(or) != len(d.Cells) {
+		return fmt.Errorf("db: position import has %d/%d entries, design has %d cells",
+			len(pos), len(or), len(d.Cells))
+	}
+	for i, c := range d.Cells {
+		c.Pos = pos[i]
+		c.Orient = or[i]
+	}
+	return d.rebuildRowOccupancy()
+}
+
 // PositionSnapshot captures all cell positions for later restore.
 type PositionSnapshot struct {
 	pos    []geom.Point

@@ -58,6 +58,73 @@ func TestSelectionStarvationFromCall(t *testing.T) {
 	}
 }
 
+func TestCrashAtFiresExactlyOnceThroughExitSeam(t *testing.T) {
+	in := New(CrashAt(StageCheckpoint, 2))
+	var codes []int
+	in.Exit = func(code int) { codes = append(codes, code) }
+	h := in.CheckpointHook()
+	if h == nil {
+		t.Fatal("planned checkpoint crash produced a nil hook")
+	}
+	for i := 0; i < 4; i++ {
+		h(i + 1)
+	}
+	if len(codes) != 1 || codes[0] != CrashExitCode {
+		t.Fatalf("Exit calls = %v, want one call with %d", codes, CrashExitCode)
+	}
+	fired := in.Fired()
+	if len(fired) != 1 || !strings.HasPrefix(fired[0], "crash stage=checkpoint call=2") {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestCrashAtOtherStagesProduceHooks(t *testing.T) {
+	for _, stage := range []string{StageGCP, StageECC, StagePostUD} {
+		in := New(CrashAt(stage, 1))
+		exited := false
+		in.Exit = func(int) { exited = true }
+		switch stage {
+		case StageGCP:
+			in.GCPHook()(1, 0)
+		case StageECC:
+			in.ECCHook()(1, 0)
+		case StagePostUD:
+			in.PostUDHook()(1)
+		}
+		if !exited {
+			t.Errorf("stage %s: planned crash never reached the exit seam", stage)
+		}
+	}
+}
+
+func TestZeroPlanCrashHooksAreNil(t *testing.T) {
+	in := New(Plan{})
+	if in.PostUDHook() != nil || in.CheckpointHook() != nil {
+		t.Fatal("empty plan must produce nil crash hooks (bit-identity discipline)")
+	}
+}
+
+func TestFiredCanonicalOrder(t *testing.T) {
+	// Events are reported in (stage, call) order regardless of the order
+	// they raced in — two worker panics recording concurrently must not
+	// make the report flap between runs. Fire the gcp fault before the ecc
+	// fault; the report still lists ecc (stage "ecc" < "gcp") first.
+	in := New(Plan{PanicAtGCPCall: 1, PanicAtECCCall: 1})
+	for _, h := range []func(int, int){in.GCPHook(), in.ECCHook()} {
+		func() {
+			defer func() { recover() }()
+			h(1, 0)
+		}()
+	}
+	fired := in.Fired()
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want 2 events", fired)
+	}
+	if !strings.HasPrefix(fired[0], "ecc-panic") || !strings.HasPrefix(fired[1], "gcp-panic") {
+		t.Fatalf("events not in canonical (stage, call) order: %v", fired)
+	}
+}
+
 func TestTruncateDEFDeterministic(t *testing.T) {
 	input := []byte("DESIGN chaos ;\nDIEAREA ( 0 0 ) ( 10 10 ) ;\nEND DESIGN\n")
 	a := TruncateDEF(input, 0.5)

@@ -1,0 +1,272 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/crp-eda/crp/internal/checkpoint"
+	"github.com/crp-eda/crp/internal/crp"
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/grid"
+	"github.com/crp-eda/crp/internal/lefdef"
+	"github.com/crp-eda/crp/internal/route/global"
+)
+
+// Checkpointing configures crash-safe journaling of the CR&P loop. The
+// Manager owns the checkpoint directory; a snapshot is committed after
+// global routing (checkpoint 0) and after every transactionally committed
+// CR&P iteration, so at most one iteration of work is ever lost to a crash.
+//
+// Checkpoint writes are pure observers of the pipeline: every snapshot is
+// taken from state the flow already computed, so a run with checkpointing
+// enabled is bit-identical to one without it, and a failed checkpoint write
+// degrades the run (Result.Degradations, stage "ckpt") instead of stopping
+// it.
+type Checkpointing struct {
+	Manager *checkpoint.Manager
+	// AfterSave, when non-nil, runs after the Nth (1-based) successful
+	// checkpoint commit. The crash-chaos suite hangs process kills and
+	// cancellation off it; production runs leave it nil.
+	AfterSave func(n int)
+
+	saves int
+}
+
+// ErrNoCheckpoint re-exports the manager's "nothing to resume" error so
+// callers of Resume need not import internal/checkpoint to fall back to a
+// fresh run.
+var ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+
+// snapshot captures the resumable state at the current iteration boundary.
+func snapshotState(s session, engine *crp.Engine, kEff int, totalMoved int, degs []Degradation) *checkpoint.Snapshot {
+	pos, orient := s.d.ExportPositions()
+	crit, moved := s.d.ExportHistory()
+	st := engine.State()
+	snap := &checkpoint.Snapshot{
+		DesignName: s.d.Name,
+		Cells:      len(s.d.Cells),
+		Nets:       len(s.d.Nets),
+		K:          kEff,
+		Seed:       engine.Cfg.Seed,
+		Iter:       st.Iter,
+		RNGDraws:   st.RNGDraws,
+		TotalMoved: totalMoved,
+		Pos:        pos,
+		Orient:     orient,
+		Critical:   crit,
+		Moved:      moved,
+		Routes:     s.r.Routes,
+		Demand:     s.g.ExportDemand(),
+	}
+	for _, d := range degs {
+		snap.Degradations = append(snap.Degradations,
+			checkpoint.Degradation{Stage: d.Stage, Kind: d.Kind, Detail: d.Detail})
+	}
+	return snap
+}
+
+// save commits one checkpoint. Failures degrade the run instead of
+// stopping it: the pipeline's answer does not depend on durability, only
+// the crash-recovery story does.
+func (ck *Checkpointing) save(s session, engine *crp.Engine, kEff, totalMoved int, res *Result) {
+	if ck == nil || ck.Manager == nil {
+		return
+	}
+	snap := snapshotState(s, engine, kEff, totalMoved, res.Degradations)
+	if err := ck.Manager.Save(snap); err != nil {
+		res.degrade("ckpt", "checkpoint-write-failed",
+			fmt.Sprintf("iter %d: %v", snap.Iter, err))
+		return
+	}
+	ck.saves++
+	if ck.AfterSave != nil {
+		ck.AfterSave(ck.saves)
+	}
+}
+
+// runCheckpointedLoop executes the remaining CR&P iterations exactly as
+// crp.Engine.Run would — same cancellation check, same accumulation, same
+// stop-on-broken — committing a checkpoint after each iteration. startIter
+// is the number of already-committed iterations (0 on a fresh run);
+// priorMoved carries a resumed run's accumulated move count so checkpoints
+// record whole-run totals.
+func runCheckpointedLoop(ctx context.Context, s session, engine *crp.Engine, kEff, startIter, priorMoved int, ck *Checkpointing, res *Result) *crp.Result {
+	stats := &crp.Result{}
+	for k := startIter; k < kEff; k++ {
+		if err := ctx.Err(); err != nil {
+			d := crp.Degradation{Iter: k + 1, Kind: "run-cancelled", Detail: err.Error()}
+			stats.Degradations = append(stats.Degradations, d)
+			res.degrade("crp", d.Kind, fmt.Sprintf("iter %d: %s", d.Iter, d.Detail))
+			break
+		}
+		st := engine.Iterate(ctx)
+		stats.Iterations = append(stats.Iterations, st)
+		stats.TotalMoved += st.MovedCells
+		stats.Degradations = append(stats.Degradations, st.Degradations...)
+		for _, d := range st.Degradations {
+			res.degrade("crp", d.Kind, fmt.Sprintf("iter %d: %s", d.Iter, d.Detail))
+		}
+		// Checkpoint every iteration, including rolled-back ones: the
+		// history marks and RNG draws of a rolled-back iteration are part
+		// of the committed stream the next iteration depends on.
+		ck.save(s, engine, kEff, priorMoved+stats.TotalMoved, res)
+		if engine.Broken() {
+			break
+		}
+	}
+	return stats
+}
+
+// writeRunOutputs emits the flow's DEF and route-guide outputs.
+func writeRunOutputs(s session, defOut, guideOut io.Writer) error {
+	if defOut != nil {
+		if err := lefdef.WriteDEF(defOut, s.d); err != nil {
+			return fmt.Errorf("flow: writing DEF: %w", err)
+		}
+	}
+	if guideOut != nil {
+		if err := lefdef.WriteGuides(guideOut, s.d, s.g, s.r.Routes); err != nil {
+			return fmt.Errorf("flow: writing guides: %w", err)
+		}
+	}
+	return nil
+}
+
+// RunCRPCheckpointed is RunCRPWithOutputs with crash-safe journaling: a
+// checkpoint is committed after global routing and after every CR&P
+// iteration. With ck nil (or an empty Checkpointing) it is bit-identical to
+// RunCRPWithOutputs.
+func RunCRPCheckpointed(ctx context.Context, d *db.Design, k int, cfg Config, ck *Checkpointing, defOut, guideOut io.Writer) (*Result, error) {
+	ctx, cancel := flowCtx(ctx, cfg)
+	defer cancel()
+	res := &Result{}
+	s, gst, tGR := globalRoute(ctx, d, cfg, res)
+	t0 := time.Now()
+	engine := crp.New(s.d, s.g, s.r, crpConfig(cfg, k))
+	kEff := engine.Cfg.Iterations
+	ck.save(s, engine, kEff, 0, res) // checkpoint 0: post-GR, pre-loop
+	stats := runCheckpointedLoop(ctx, s, engine, kEff, 0, 0, ck, res)
+	tMid := time.Since(t0)
+	m, tDR := detailRoute(ctx, s, cfg, res)
+	if err := writeRunOutputs(s, defOut, guideOut); err != nil {
+		return nil, err
+	}
+	res.Metrics = m
+	res.GlobalStats = gst
+	res.CRPStats = stats
+	res.Timings = Timings{
+		GlobalRoute: tGR,
+		Middle:      tMid,
+		DetailRoute: tDR,
+		Total:       tGR + tMid + tDR,
+		CRPPhases:   stats.Times(),
+	}
+	return res, nil
+}
+
+// Resume continues an interrupted checkpointed run. It loads the newest
+// usable checkpoint from ck.Manager (falling back across corrupt ones),
+// restores the design, grid, routes and engine to the recorded iteration
+// boundary, re-runs the transactional invariant checker to refuse a
+// mismatched or corrupted restore, and then continues exactly where the
+// interrupted run stopped — the remaining iterations, detailed routing and
+// outputs are bit-identical to a run that was never interrupted.
+//
+// d must be the same design the original run loaded (same input files);
+// cfg and k must match the original configuration. Mismatches are detected
+// via the identity fields recorded in the checkpoint and refused.
+// ErrNoCheckpoint is returned when the directory has nothing usable —
+// callers typically fall back to a fresh RunCRPCheckpointed.
+func Resume(ctx context.Context, d *db.Design, k int, cfg Config, ck *Checkpointing, defOut, guideOut io.Writer) (*Result, error) {
+	if ck == nil || ck.Manager == nil {
+		return nil, errors.New("flow: Resume needs a checkpoint manager")
+	}
+	snap, notes, err := ck.Manager.Latest()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := flowCtx(ctx, cfg)
+	defer cancel()
+	res := &Result{}
+	for _, d := range snap.Degradations {
+		res.Degradations = append(res.Degradations,
+			Degradation{Stage: d.Stage, Kind: d.Kind, Detail: d.Detail})
+	}
+	for _, n := range notes {
+		res.degrade("ckpt", "checkpoint-recovery", n)
+	}
+
+	t0 := time.Now()
+	s, engine, err := restoreSession(d, k, cfg, snap)
+	if err != nil {
+		return nil, err
+	}
+	kEff := engine.Cfg.Iterations
+	stats := runCheckpointedLoop(ctx, s, engine, kEff, snap.Iter, snap.TotalMoved, ck, res)
+	stats.TotalMoved += snap.TotalMoved
+	tMid := time.Since(t0)
+	m, tDR := detailRoute(ctx, s, cfg, res)
+	if err := writeRunOutputs(s, defOut, guideOut); err != nil {
+		return nil, err
+	}
+	res.Metrics = m
+	res.CRPStats = stats
+	res.Timings = Timings{
+		Middle:      tMid,
+		DetailRoute: tDR,
+		Total:       tMid + tDR,
+		CRPPhases:   stats.Times(),
+	}
+	return res, nil
+}
+
+// restoreSession rebuilds the live session (design placement and history,
+// grid demand, committed routes, engine state) from a snapshot and
+// validates it.
+//
+// Ordering matters: the grid is constructed only after positions are
+// restored, but its construction-time demand seeding reflects *current*
+// pin positions while the checkpointed demand was seeded from the
+// *initial* placement — so the recorded demand arrays overwrite the fresh
+// grid's verbatim. The engine's construction-time residuals (grid demand
+// minus committed-route demand) then reproduce the original run's exactly,
+// which the invariant check confirms before any iteration runs.
+func restoreSession(d *db.Design, k int, cfg Config, snap *checkpoint.Snapshot) (session, *crp.Engine, error) {
+	ccfg := crpConfig(cfg, k)
+	if snap.DesignName != d.Name || snap.Cells != len(d.Cells) || snap.Nets != len(d.Nets) {
+		return session{}, nil, fmt.Errorf("flow: checkpoint is for design %q (%d cells, %d nets), input is %q (%d cells, %d nets)",
+			snap.DesignName, snap.Cells, snap.Nets, d.Name, len(d.Cells), len(d.Nets))
+	}
+	if snap.K != ccfg.Iterations || snap.Seed != ccfg.Seed {
+		return session{}, nil, fmt.Errorf("flow: checkpoint recorded k=%d seed=%d, run configured k=%d seed=%d",
+			snap.K, snap.Seed, ccfg.Iterations, ccfg.Seed)
+	}
+	if snap.Iter > snap.K {
+		return session{}, nil, fmt.Errorf("flow: checkpoint iteration %d exceeds k=%d", snap.Iter, snap.K)
+	}
+	if err := d.ImportPositions(snap.Pos, snap.Orient); err != nil {
+		return session{}, nil, fmt.Errorf("flow: restoring placement: %w", err)
+	}
+	if err := d.ImportHistory(snap.Critical, snap.Moved); err != nil {
+		return session{}, nil, fmt.Errorf("flow: restoring history: %w", err)
+	}
+	g := grid.New(d, cfg.Grid)
+	if err := g.RestoreDemand(snap.Demand); err != nil {
+		return session{}, nil, fmt.Errorf("flow: restoring grid demand: %w", err)
+	}
+	r := global.New(d, g, cfg.Global)
+	if err := r.AdoptRoutes(snap.Routes); err != nil {
+		return session{}, nil, fmt.Errorf("flow: restoring routes: %w", err)
+	}
+	engine := crp.New(d, g, r, ccfg)
+	if err := engine.RestoreState(crp.State{Iter: snap.Iter, RNGDraws: snap.RNGDraws}); err != nil {
+		return session{}, nil, fmt.Errorf("flow: restoring engine state: %w", err)
+	}
+	if err := engine.CheckInvariants(); err != nil {
+		return session{}, nil, fmt.Errorf("flow: restored state fails invariants: %w", err)
+	}
+	return session{d, g, r}, engine, nil
+}

@@ -369,6 +369,68 @@ func (g *Grid) planarPenaltyAt(x, y, l int) float64 {
 	return 1
 }
 
+// DemandState is a deep copy of the grid's mutable routing demand: wire
+// usage per layer and via counts per layer pair, in the grid's dense array
+// layout. Capacities and fixed usage are derived deterministically from the
+// design at construction and are deliberately not part of it — a checkpoint
+// restores demand onto a freshly constructed grid.
+//
+// Wire usage also implicitly carries the construction-time seeding (pin via
+// weights), which depends on the *initial* placement; restoring the arrays
+// verbatim is what keeps a resumed run bit-identical even though the cells
+// have moved since the grid was first seeded.
+type DemandState struct {
+	NX, NY, NL int
+	Wire       [][]float64 // [layer][x+y*NX], len NL
+	Vias       [][]float64 // [layer][gcell], len NL-1
+}
+
+// ExportDemand snapshots the mutable demand state.
+func (g *Grid) ExportDemand() DemandState {
+	s := DemandState{NX: g.NX, NY: g.NY, NL: g.NL}
+	s.Wire = make([][]float64, g.NL)
+	for l := range g.wire {
+		s.Wire[l] = append([]float64(nil), g.wire[l]...)
+	}
+	s.Vias = make([][]float64, g.NL-1)
+	for l := range g.vias {
+		s.Vias[l] = append([]float64(nil), g.vias[l]...)
+	}
+	return s
+}
+
+// RestoreDemand overwrites the grid's wire and via demand with a prior
+// ExportDemand, advancing the epoch so every cost cache revalidates.
+func (g *Grid) RestoreDemand(s DemandState) error {
+	if s.NX != g.NX || s.NY != g.NY || s.NL != g.NL {
+		return fmt.Errorf("grid: demand state is %dx%dx%d, grid is %dx%dx%d",
+			s.NX, s.NY, s.NL, g.NX, g.NY, g.NL)
+	}
+	if len(s.Wire) != g.NL || len(s.Vias) != g.NL-1 {
+		return fmt.Errorf("grid: demand state has %d wire / %d via layers, want %d / %d",
+			len(s.Wire), len(s.Vias), g.NL, g.NL-1)
+	}
+	n := g.NX * g.NY
+	for l, w := range s.Wire {
+		if len(w) != n {
+			return fmt.Errorf("grid: wire layer %d has %d edges, want %d", l, len(w), n)
+		}
+	}
+	for l, v := range s.Vias {
+		if len(v) != n {
+			return fmt.Errorf("grid: via layer %d has %d gcells, want %d", l, len(v), n)
+		}
+	}
+	for l := range g.wire {
+		copy(g.wire[l], s.Wire[l])
+	}
+	for l := range g.vias {
+		copy(g.vias[l], s.Vias[l])
+	}
+	g.epoch++
+	return nil
+}
+
 // OverflowStats summarises congestion for rip-up & reroute scheduling and
 // reporting.
 type OverflowStats struct {

@@ -134,6 +134,28 @@ func New(d *db.Design, g *grid.Grid, cfg Config) *Router {
 	return r
 }
 
+// AdoptRoutes installs a previously committed route set — e.g. restored
+// from a checkpoint — without touching grid demand: the caller restores the
+// matching demand separately (grid.RestoreDemand), because committed-route
+// demand alone does not reconstruct the construction-time seeding the grid
+// carried when these routes were originally committed. Any prior routes and
+// cost memos are discarded.
+func (r *Router) AdoptRoutes(routes []*Route) error {
+	if len(routes) != len(r.D.Nets) {
+		return fmt.Errorf("global: adopting %d routes for %d nets", len(routes), len(r.D.Nets))
+	}
+	for id, rt := range routes {
+		if rt != nil && rt.NetID != int32(id) {
+			return fmt.Errorf("global: route at slot %d belongs to net %d", id, rt.NetID)
+		}
+	}
+	copy(r.Routes, routes)
+	for i := range r.netCostEpoch {
+		r.netCostEpoch[i] = 0
+	}
+	return nil
+}
+
 // Stats summarises a routing run.
 type Stats struct {
 	RoutedNets    int

@@ -1,0 +1,156 @@
+// Package supervise is the self-healing run supervisor: it executes a job
+// (typically a checkpointed cmd/crp invocation) and, when the job dies —
+// crash, OOM kill, injected fault — restarts it with exponential backoff
+// until it succeeds or a retry cap is reached. Paired with checkpoint
+// journaling and flow.Resume, a supervised run loses at most one iteration
+// of work per crash and still terminates with bit-identical outputs.
+//
+// Determinism discipline: backoff jitter comes from a seeded generator and
+// sleeping goes through an injectable seam, so supervisor behaviour —
+// including the exact backoff schedule — replays identically in tests.
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os/exec"
+	"time"
+)
+
+// Config tunes the retry loop. The zero value supervises with the defaults
+// noted per field.
+type Config struct {
+	// MaxAttempts caps total executions (first run + retries). Default 5.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it. Default 100ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Default 10s.
+	MaxBackoff time.Duration
+	// JitterSeed seeds the deterministic jitter source. Jitter adds up to
+	// half the base delay so restart stampedes decorrelate without making
+	// the schedule irreproducible.
+	JitterSeed int64
+	// Sleep is the waiting seam; nil means time.Sleep. Tests inject a
+	// recorder to assert the schedule without waiting it out.
+	Sleep func(time.Duration)
+	// OnAttempt, when non-nil, observes every attempt as it completes —
+	// structured reporting for logs and the crpd CLI.
+	OnAttempt func(Attempt)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 10 * time.Second
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return c
+}
+
+// Attempt is the structured record of one job execution.
+type Attempt struct {
+	// N is the 1-based attempt number.
+	N int `json:"attempt"`
+	// ExitCode is the job's exit status; 0 means success, -1 means the job
+	// failed before producing one (e.g. the binary could not start).
+	ExitCode int `json:"exit_code"`
+	// Err is the failure description, empty on success.
+	Err string `json:"error,omitempty"`
+	// Duration is the attempt's wall-clock time.
+	Duration time.Duration `json:"duration_ns"`
+	// Backoff is the delay slept after this attempt before the next one;
+	// zero on the final attempt.
+	Backoff time.Duration `json:"backoff_ns"`
+}
+
+// Report is the outcome of a supervised run.
+type Report struct {
+	Succeeded bool      `json:"succeeded"`
+	Attempts  []Attempt `json:"attempts"`
+}
+
+// Job runs one attempt and reports its exit code. A nil error with code 0
+// is success; any other combination schedules a retry.
+type Job func(attempt int) (exitCode int, err error)
+
+// Run supervises job under cfg, retrying failures with exponential backoff
+// plus deterministic jitter until success or the attempt cap.
+func Run(cfg Config, job Job) Report {
+	cfg = cfg.withDefaults()
+	jitter := rand.New(rand.NewSource(cfg.JitterSeed))
+	var rep Report
+	for n := 1; n <= cfg.MaxAttempts; n++ {
+		t0 := time.Now()
+		code, err := job(n)
+		at := Attempt{N: n, ExitCode: code, Duration: time.Since(t0)}
+		if err != nil {
+			at.Err = err.Error()
+		}
+		if err == nil && code == 0 {
+			rep.Succeeded = true
+			rep.Attempts = append(rep.Attempts, at)
+			if cfg.OnAttempt != nil {
+				cfg.OnAttempt(at)
+			}
+			return rep
+		}
+		if n < cfg.MaxAttempts {
+			at.Backoff = backoff(cfg, jitter, n)
+		}
+		rep.Attempts = append(rep.Attempts, at)
+		if cfg.OnAttempt != nil {
+			cfg.OnAttempt(at)
+		}
+		if at.Backoff > 0 {
+			cfg.Sleep(at.Backoff)
+		}
+	}
+	return rep
+}
+
+// backoff computes the post-attempt-n delay: BaseBackoff doubled per retry,
+// capped at MaxBackoff, plus jitter in [0, delay/2).
+func backoff(cfg Config, jitter *rand.Rand, n int) time.Duration {
+	d := cfg.BaseBackoff
+	for i := 1; i < n && d < cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > cfg.MaxBackoff {
+		d = cfg.MaxBackoff
+	}
+	return d + time.Duration(jitter.Int63n(int64(d)/2+1))
+}
+
+// Command wraps a child-process invocation as a Job: each attempt re-execs
+// argv with the given stdio, and the child's exit code is extracted from
+// the process state (so an injected CrashExitCode is observable). A child
+// that cannot start reports code -1.
+func Command(argv []string, stdout, stderr io.Writer) (Job, error) {
+	if len(argv) == 0 {
+		return nil, errors.New("supervise: empty command")
+	}
+	return func(attempt int) (int, error) {
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
+		err := cmd.Run()
+		if err == nil {
+			return 0, nil
+		}
+		var xerr *exec.ExitError
+		if errors.As(err, &xerr) {
+			return xerr.ExitCode(), fmt.Errorf("attempt %d: %w", attempt, err)
+		}
+		return -1, fmt.Errorf("attempt %d: %w", attempt, err)
+	}, nil
+}
