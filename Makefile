@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench-json fuzz-smoke chaos crash-chaos
+.PHONY: check vet build test race lint-state bench-smoke bench-json fuzz-smoke chaos crash-chaos
 
-## check: the full pre-merge gate — vet, build, race-enabled tests, bench
-## smoke, chaos suite, crash-chaos suite, fuzz smoke.
-check: vet build race bench-smoke chaos crash-chaos fuzz-smoke
+## check: the full pre-merge gate — vet, build, state lint, race-enabled
+## tests, bench smoke, chaos suite, crash-chaos suite, fuzz smoke.
+check: vet build lint-state race bench-smoke chaos crash-chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,10 +23,24 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig3Breakdown' -benchtime 1x .
 
+## lint-state: no code in the CR&P iteration path mutates placement, grid
+## demand or routes behind the view's back — mutation goes through
+## view.Overlay/view.Txn only (see DESIGN.md, "State architecture").
+lint-state:
+	@if grep -nE '\.D\.(MoveCells|Restore|Snapshot|ImportPositions|ImportHistory)\(|\.G\.(AddWire|AddVia|RestoreDemand)\(|\.R\.(RipUp|Commit|RerouteNet|AdoptRoutes)\(' \
+		$$(find internal/crp -name '*.go' ! -name '*_test.go'); then \
+		echo 'lint-state: direct design-state mutation in the CR&P iteration path — use view.Overlay/view.Txn (DESIGN.md, "State architecture")' >&2; \
+		exit 1; \
+	else \
+		echo 'lint-state: ok'; \
+	fi
+
 ## bench-json: regenerate the BENCH_*.json performance snapshot
-## (see EXPERIMENTS.md, "Performance architecture").
+## (see EXPERIMENTS.md, "Performance architecture"). Override the target
+## with BENCH=..., e.g. `make bench-json BENCH=BENCH_6.json`.
+BENCH ?= BENCH_5.json
 bench-json:
-	$(GO) run ./cmd/benchreport -o BENCH_1.json
+	$(GO) run ./cmd/benchreport -o $(BENCH)
 
 ## chaos: the fault-injection suite — every fault class must complete with
 ## degraded-mode stats and a legal design; zero faults must be bit-identical
@@ -53,3 +67,4 @@ fuzz-smoke:
 	$(GO) test ./internal/lefdef -fuzz 'FuzzParseDEF$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
 	$(GO) test ./internal/lefdef -fuzz 'FuzzDEFRoundTrip$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
 	$(GO) test ./internal/checkpoint -fuzz 'FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
+	$(GO) test ./internal/view -fuzz 'FuzzOverlayCommit$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x

@@ -5,12 +5,19 @@
 //
 // Usage:
 //
-//	benchreport [-o BENCH_1.json] [-scale 0.004] [-k 10]
+//	benchreport [-o BENCH_5.json] [-scale 0.004] [-k 10] [-prev BENCH_1.json]
 //
 // The cache-off and cache-on flows run the same circuit with the same seeds;
 // the estimation caches are bit-transparent (see DESIGN.md, "Performance
 // architecture"), so the two runs make identical moves and any timing delta
 // is pure cache effect. EXPERIMENTS.md explains how to read the output.
+//
+// The report also compares the DesignView refactor's ECC fast path against
+// the pre-refactor scratch-buffer implementation: ecc_estimate_costs pairs
+// the recorded pre-refactor BenchmarkECCEstimateCosts numbers (overridable
+// via -ecc-before-*) with a fresh measurement of the overlay-based path, and
+// fig3_breakdown pairs the cache-on phases of the -prev snapshot with this
+// run's.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"github.com/crp-eda/crp/internal/atomicio"
+	"github.com/crp-eda/crp/internal/crp"
 	"github.com/crp-eda/crp/internal/db"
 	"github.com/crp-eda/crp/internal/flow"
 	"github.com/crp-eda/crp/internal/geom"
@@ -67,6 +75,27 @@ type report struct {
 	// cache-on converges to pure hits).
 	EstimateTerminalCostOff microResult `json:"estimate_terminal_cost_cache_off"`
 	EstimateTerminalCostOn  microResult `json:"estimate_terminal_cost_cache_on"`
+
+	// ECCEstimateCosts pairs the pre-DesignView BenchmarkECCEstimateCosts
+	// numbers (Before, recorded on the same fixture before the refactor)
+	// with a fresh measurement of the overlay-based path (After).
+	ECCEstimateCosts microComparison `json:"ecc_estimate_costs"`
+	// Fig3Breakdown pairs the cache-on Fig. 3 phases of the -prev snapshot
+	// (Before; zero when no previous snapshot loads) with this run's CacheOn
+	// phases (After).
+	Fig3Breakdown phaseComparison `json:"fig3_breakdown"`
+}
+
+// microComparison is a before/after pair of micro-benchmark measurements.
+type microComparison struct {
+	Before microResult `json:"before"`
+	After  microResult `json:"after"`
+}
+
+// phaseComparison is a before/after pair of Fig. 3 phase breakdowns.
+type phaseComparison struct {
+	Before phaseSeconds `json:"before"`
+	After  phaseSeconds `json:"after"`
 }
 
 func phases(t flow.Timings) phaseSeconds {
@@ -115,11 +144,62 @@ func microEstimate(d *db.Design, disableCache bool) microResult {
 	}
 }
 
+// microECC measures the overlay-based ECC fast path on the exact fixture
+// BenchmarkECCEstimateCosts uses (400 cells, 350 nets, seed 20, 2 workers),
+// so the number is directly comparable to the pre-refactor record.
+func microECC() (microResult, error) {
+	d, err := ispd.Generate(ispd.Spec{
+		Name: "crp_fixture", Node: "n45", Cells: 400, Nets: 350,
+		Utilisation: 0.88, Hotspots: 2, IOFraction: 0.03, Seed: 20,
+	})
+	if err != nil {
+		return microResult{}, err
+	}
+	g := grid.New(d, grid.DefaultParams())
+	r := global.New(d, g, global.DefaultConfig())
+	r.RouteAll()
+	cfg := crp.DefaultConfig()
+	cfg.Iterations = 1
+	cfg.Workers = 2
+	run, _ := crp.ECCWorkload(d, g, r, cfg)
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	})
+	return microResult{
+		NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+	}, nil
+}
+
+// loadPrev reads a previous BENCH_*.json snapshot for the before columns.
+func loadPrev(path string) (report, error) {
+	var prev report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	if err := json.Unmarshal(buf, &prev); err != nil {
+		return report{}, err
+	}
+	return prev, nil
+}
+
 func main() {
 	var (
-		out   = flag.String("o", "BENCH_1.json", "output path")
+		out   = flag.String("o", "BENCH_5.json", "output path")
 		scale = flag.Float64("scale", 0.004, "suite scale (matches CRP_BENCH_SCALE)")
 		k     = flag.Int("k", 10, "CR&P iterations for the flow runs")
+		prev  = flag.String("prev", "BENCH_1.json", "previous snapshot for the fig3_breakdown before column (\"\" = skip)")
+		// Pre-refactor BenchmarkECCEstimateCosts record (scratch-buffer
+		// implementation, same fixture), measured immediately before the
+		// DesignView refactor landed.
+		eccBeforeNs     = flag.Float64("ecc-before-ns", 1250548, "pre-refactor ECC ns/op record")
+		eccBeforeBytes  = flag.Int64("ecc-before-bytes", 46320, "pre-refactor ECC B/op record")
+		eccBeforeAllocs = flag.Int64("ecc-before-allocs", 1747, "pre-refactor ECC allocs/op record")
 	)
 	flag.Parse()
 
@@ -152,6 +232,22 @@ func main() {
 	rep.EstimateTerminalCostOff = microEstimate(md, true)
 	rep.EstimateTerminalCostOn = microEstimate(md, false)
 
+	rep.ECCEstimateCosts.Before = microResult{
+		NsPerOp: *eccBeforeNs, BytesPerOp: *eccBeforeBytes, AllocsPerOp: *eccBeforeAllocs,
+	}
+	if rep.ECCEstimateCosts.After, err = microECC(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	rep.Fig3Breakdown.After = rep.CacheOn
+	if *prev != "" {
+		if p, err := loadPrev(*prev); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: no previous snapshot (%v); fig3_breakdown.before left zero\n", err)
+		} else {
+			rep.Fig3Breakdown.Before = p.CacheOn
+		}
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -166,4 +262,10 @@ func main() {
 	}
 	fmt.Printf("wrote %s: ECC %0.3fs (cache off) -> %0.3fs (cache on), %.1fx\n",
 		*out, rep.CacheOff.ECCS, rep.CacheOn.ECCS, rep.ECCSpeedup)
+	ecc := rep.ECCEstimateCosts
+	if ecc.Before.NsPerOp > 0 {
+		fmt.Printf("ECC estimate costs: %.0f ns/op before -> %.0f ns/op after (%+.1f%%)\n",
+			ecc.Before.NsPerOp, ecc.After.NsPerOp,
+			(ecc.After.NsPerOp-ecc.Before.NsPerOp)/ecc.Before.NsPerOp*100)
+	}
 }

@@ -29,7 +29,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"time"
 
@@ -131,25 +130,15 @@ func main() {
 	// Outputs are committed atomically after the flow finishes: a crash at
 	// any point leaves either the previous file or the new one, never a
 	// torn in-between.
-	var defW, guideW io.Writer
-	var outs []*atomicio.File
-	if *outDEF != "" {
-		f, err := atomicio.Create(*outDEF)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Abort()
-		defW = f
-		outs = append(outs, f)
+	var outs atomicio.Outputs
+	defer outs.Abort()
+	defW, err := outs.Create(*outDEF)
+	if err != nil {
+		fatal(err)
 	}
-	if *outGuide != "" {
-		f, err := atomicio.Create(*outGuide)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Abort()
-		guideW = f
-		outs = append(outs, f)
+	guideW, err := outs.Create(*outGuide)
+	if err != nil {
+		fatal(err)
 	}
 
 	// The flow writes the DEF/guides even on a degraded run, so a deadline
@@ -167,10 +156,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, f := range outs {
-		if err := f.Commit(); err != nil {
-			fatal(err)
-		}
+	if err := outs.Commit(); err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("CR&P k=%d: %v\n", *k, res.Metrics)

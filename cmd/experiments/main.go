@@ -12,10 +12,8 @@
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -47,18 +45,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	// The report goes to stdout and, with -out, to a tee buffer committed
-	// atomically at the end — a killed sweep never leaves a torn report.
-	var tee bytes.Buffer
-	var out io.Writer = os.Stdout
-	if *outPath != "" {
-		out = io.MultiWriter(os.Stdout, &tee)
+	// The report goes to stdout and, with -out, tees into an atomic file
+	// replacement committed at the end — a killed sweep never leaves a
+	// torn report.
+	var outs atomicio.Outputs
+	defer outs.Abort()
+	out, err := outs.CreateTee(*outPath, os.Stdout)
+	if err != nil {
+		fatal(err)
 	}
 	commit := func() {
-		if *outPath == "" {
-			return
-		}
-		if err := atomicio.WriteFileBytes(*outPath, tee.Bytes()); err != nil {
+		if err := outs.Commit(); err != nil {
 			fatal(err)
 		}
 	}

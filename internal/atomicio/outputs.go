@@ -1,0 +1,73 @@
+package atomicio
+
+import (
+	"fmt"
+	"io"
+)
+
+// Outputs is a group of atomic file replacements committed together — the
+// best-so-far output pattern the CLIs share: create every output up front,
+// stream into the writers while the run progresses, then Commit once the
+// producing run succeeds (or Abort, usually via defer, to leave every
+// target untouched). A crash at any point leaves each target as either its
+// previous content or the new content, never a torn in-between.
+type Outputs struct {
+	files []*File
+}
+
+// Create adds one output to the group and returns its writer. An empty
+// path returns (nil, nil), so optional outputs ("" = not requested) need no
+// caller-side branching.
+func (o *Outputs) Create(path string) (io.Writer, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := Create(path)
+	if err != nil {
+		return nil, err
+	}
+	o.files = append(o.files, f)
+	return f, nil
+}
+
+// CreateTee adds one output that also streams to an extra writer (the
+// report-to-stdout-and-file pattern). An empty path returns just the extra
+// writer — output still flows, nothing is committed.
+func (o *Outputs) CreateTee(path string, also io.Writer) (io.Writer, error) {
+	if path == "" {
+		return also, nil
+	}
+	w, err := o.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if also == nil {
+		return w, nil
+	}
+	return io.MultiWriter(also, w), nil
+}
+
+// Commit atomically renames every output into place, first one first. On
+// error the remaining outputs are left uncommitted (Abort cleans them up).
+// Committing an empty group is a no-op, so the call needs no guard when no
+// outputs were requested.
+func (o *Outputs) Commit() error {
+	for i, f := range o.files {
+		if err := f.Commit(); err != nil {
+			o.files = o.files[i+1:]
+			return fmt.Errorf("atomicio: committing outputs: %w", err)
+		}
+	}
+	o.files = nil
+	return nil
+}
+
+// Abort discards every uncommitted output, leaving the targets untouched.
+// Safe after Commit (then a no-op), so `defer o.Abort()` pairs with a
+// conditional Commit.
+func (o *Outputs) Abort() {
+	for _, f := range o.files {
+		f.Abort()
+	}
+	o.files = nil
+}

@@ -1,0 +1,31 @@
+package checkpoint
+
+import "github.com/crp-eda/crp/internal/view"
+
+// ViewState returns the snapshot's design-state slice — positions,
+// orientations, history sets, routes and grid demand — as a view.State,
+// ready for view.Rebuild on the resume path. The snapshot's remaining
+// fields (identity, config echoes, engine counters, degradations) are flow
+// metadata, not design state.
+func (s *Snapshot) ViewState() view.State {
+	return view.State{
+		Pos:      s.Pos,
+		Orient:   s.Orient,
+		Critical: s.Critical,
+		Moved:    s.Moved,
+		Routes:   s.Routes,
+		Demand:   s.Demand,
+	}
+}
+
+// SetViewState fills the snapshot's design-state fields from a materialized
+// view — the one exporter checkpoints go through, replacing direct use of
+// the per-store export APIs.
+func (s *Snapshot) SetViewState(st view.State) {
+	s.Pos = st.Pos
+	s.Orient = st.Orient
+	s.Critical = st.Critical
+	s.Moved = st.Moved
+	s.Routes = st.Routes
+	s.Demand = st.Demand
+}

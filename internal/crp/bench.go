@@ -1,0 +1,22 @@
+package crp
+
+import (
+	"context"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/grid"
+	"github.com/crp-eda/crp/internal/route/global"
+)
+
+// ECCWorkload builds the workload of BenchmarkECCEstimateCosts for external
+// harnesses (cmd/benchreport): candidates are generated once from the
+// critical set, and the returned function re-prices all of them at fixed
+// grid demand — phase 3 (Algorithm 3), the Fig. 3 hot spot the estimation
+// caches and per-worker overlays target. n is the number of candidates
+// priced per call.
+func ECCWorkload(d *db.Design, g *grid.Grid, r *global.Router, cfg Config) (run func(), n int) {
+	e := New(d, g, r, cfg)
+	critical := e.labelCriticalCells()
+	cands, _ := e.generateCandidates(context.Background(), critical)
+	return func() { e.estimateCosts(context.Background(), cands) }, len(cands)
+}

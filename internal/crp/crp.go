@@ -42,6 +42,7 @@ import (
 	"github.com/crp-eda/crp/internal/legal"
 	"github.com/crp-eda/crp/internal/route/global"
 	"github.com/crp-eda/crp/internal/steiner"
+	"github.com/crp-eda/crp/internal/view"
 )
 
 // CostMode selects the candidate cost model; LengthOnly is the ablation
@@ -206,16 +207,20 @@ type Engine struct {
 	R   *global.Router
 	L   *legal.Legalizer
 	Cfg Config
+	// V is the design-state view the engine reads through and mutates
+	// under: ECC prices candidates on per-worker overlays, and the
+	// update-database phase runs inside a view transaction.
+	V   *view.View
 	rng *rand.Rand
 	// src is the counted source behind rng: it tallies every value drawn so
 	// a checkpoint can record the stream position and a resumed engine can
 	// fast-forward to it (see State/RestoreState).
 	src *countedSource
 
-	// est holds one estimation scratch per worker slot; parallelFor hands
+	// ovs holds one speculation overlay per worker slot; parallelFor hands
 	// every worker a stable index, so phase-3 costing runs allocation-lean
 	// without locking.
-	est []*estScratch
+	ovs []*view.Overlay
 
 	// iter is the 1-based running iteration counter (fills Degradation.Iter).
 	iter int
@@ -227,17 +232,6 @@ type Engine struct {
 	// broken latches an unrecoverable invariant violation (rollback did
 	// not restore consistency); Run stops iterating once set.
 	broken bool
-}
-
-// estScratch is the per-worker working set of Algorithm 3: the candidate's
-// hypothetical moves, the seen-net set, and the terminal point buffer.
-// Move counts and per-cell net counts are tiny, so slices with linear
-// scans replace the former per-candidate maps.
-type estScratch struct {
-	moveID  []int32      // cells the candidate repositions (critical first)
-	movePos []geom.Point // parallel to moveID
-	seen    []int32      // nets already priced for this candidate
-	pts     []geom.Point // terminal positions of the net being priced
 }
 
 // New builds an engine. The router must already hold the initial global
@@ -258,9 +252,10 @@ func New(d *db.Design, g *grid.Grid, r *global.Router, cfg Config) *Engine {
 	if cfg.SelectMaxNodes <= 0 {
 		cfg.SelectMaxNodes = 200_000
 	}
-	est := make([]*estScratch, cfg.Workers)
-	for i := range est {
-		est[i] = &estScratch{}
+	v := view.New(d, g, r)
+	ovs := make([]*view.Overlay, cfg.Workers)
+	for i := range ovs {
+		ovs[i] = v.Overlay()
 	}
 	src := newCountedSource(cfg.Seed)
 	e := &Engine{
@@ -269,9 +264,10 @@ func New(d *db.Design, g *grid.Grid, r *global.Router, cfg Config) *Engine {
 		R:   r,
 		L:   legal.New(d, cfg.Legal),
 		Cfg: cfg,
+		V:   v,
 		rng: rand.New(src),
 		src: src,
-		est: est,
+		ovs: ovs,
 	}
 	sumW, sumV := e.routeDemand()
 	e.resWire = g.TotalWireUsage() - sumW
@@ -356,7 +352,7 @@ func (e *Engine) routeDemand() (wires, vias float64) {
 func (e *Engine) cellCost(id int32) float64 {
 	cost := 0.0
 	for _, nid := range e.D.Cells[id].Nets {
-		cost += e.R.NetCost(nid)
+		cost += e.V.NetCost(nid)
 	}
 	return cost
 }
@@ -458,7 +454,7 @@ func (e *Engine) generateCandidates(ctx context.Context, critical []int32) ([][]
 			h(e.iter, i)
 		}
 		cid := critical[i]
-		cur := e.D.Cells[cid].Pos
+		cur := e.V.Pos(cid)
 		cands := []candidate{{cell: cid, pos: cur, conflicts: map[int32]geom.Point{}, isCurrent: true}}
 		for _, lc := range e.L.Run(cid) {
 			cands = append(cands, candidate{cell: cid, pos: lc.Pos, conflicts: lc.Conflicts})
@@ -470,7 +466,7 @@ func (e *Engine) generateCandidates(ctx context.Context, critical []int32) ([][]
 	for i := range out {
 		if out[i] == nil {
 			cid := critical[i]
-			out[i] = []candidate{{cell: cid, pos: e.D.Cells[cid].Pos, conflicts: map[int32]geom.Point{}, isCurrent: true}}
+			out[i] = []candidate{{cell: cid, pos: e.V.Pos(cid), conflicts: map[int32]geom.Point{}, isCurrent: true}}
 		}
 	}
 	return out, quar
@@ -479,7 +475,7 @@ func (e *Engine) generateCandidates(ctx context.Context, critical []int32) ([][]
 // estimateCosts is Algorithm 3: each candidate's cost is the summed
 // estimated routing cost of every net touching a cell the candidate moves,
 // with the candidate's positions applied hypothetically and every other
-// cell fixed. Each worker prices with its own scratch buffers.
+// cell fixed. Each worker prices on its own view overlay.
 //
 // Costs are prefilled with +Inf so a group abandoned mid-pricing (panic or
 // cancellation) can never look attractive: such groups are reset to "stay
@@ -495,9 +491,9 @@ func (e *Engine) estimateCosts(ctx context.Context, cands [][]candidate) []quara
 		if h := e.Cfg.Hooks.ECC; h != nil {
 			h(e.iter, i)
 		}
-		s := e.est[w]
+		ov := e.ovs[w]
 		for j := range cands[i] {
-			cands[i][j].cost = e.estimateCandidate(&cands[i][j], s)
+			cands[i][j].cost = e.estimateCandidate(&cands[i][j], ov)
 		}
 		done[i] = true
 	})
@@ -516,72 +512,26 @@ func (e *Engine) estimateCosts(ctx context.Context, cands [][]candidate) []quara
 	return quar
 }
 
-func (e *Engine) estimateCandidate(c *candidate, s *estScratch) float64 {
+func (e *Engine) estimateCandidate(c *candidate, ov *view.Overlay) float64 {
 	// The hypothetical moves: the critical cell first, then the conflict
 	// cells in ascending ID order. Fixed order matters — the per-net costs
 	// are summed in discovery order, and float addition is not associative,
-	// so iterating a map here would make the total depend on map iteration
-	// order. (Both cost sums and the seen-set are tiny, so linear scans over
-	// slices also beat the former per-candidate map allocations.)
-	s.moveID = append(s.moveID[:0], c.cell)
-	s.movePos = append(s.movePos[:0], c.pos)
-	for id := range c.conflicts {
-		s.moveID = append(s.moveID, id)
-	}
-	rest := s.moveID[1:]
-	sort.Slice(rest, func(a, b int) bool { return rest[a] < rest[b] })
-	for _, id := range rest {
-		s.movePos = append(s.movePos, c.conflicts[id])
-	}
+	// so the staging order is part of the bit-identity contract (the overlay
+	// documents the same invariant).
+	ov.Reset()
+	ov.Stage(c.cell, c.pos)
+	ov.StageSorted(c.conflicts)
 	// Cost the union of nets over all moved cells, each net once.
-	s.seen = s.seen[:0]
 	total := 0.0
-	for _, id := range s.moveID {
-		for _, nid := range e.D.Cells[id].Nets {
-			dup := false
-			for _, sn := range s.seen {
-				if sn == nid {
-					dup = true
-					break
-				}
-			}
-			if dup {
-				continue
-			}
-			s.seen = append(s.seen, nid)
-			total += e.estimateNet(nid, s)
-		}
+	for _, nid := range ov.AffectedNets() {
+		total += e.estimateNet(nid, ov)
 	}
 	return total
 }
 
-// estimateNet prices one net with the scratch's cells hypothetically moved.
-func (e *Engine) estimateNet(nid int32, s *estScratch) float64 {
-	n := e.D.Nets[nid]
-	pts := s.pts[:0]
-	for _, pr := range n.Pins {
-		c := e.D.Cells[pr.Cell]
-		moved := false
-		for k, id := range s.moveID {
-			if id == pr.Cell {
-				p := s.movePos[k]
-				orient := c.Orient
-				if row, okr := e.D.RowAt(p.Y); okr {
-					orient = row.Orient
-				}
-				pts = append(pts, e.D.PinPositionAt(c, pr.Pin, p, orient))
-				moved = true
-				break
-			}
-		}
-		if !moved {
-			pts = append(pts, e.D.PinPosition(c, pr.Pin))
-		}
-	}
-	for _, io := range n.IOs {
-		pts = append(pts, io.Pos)
-	}
-	s.pts = pts
+// estimateNet prices one net as seen through the overlay's staged moves.
+func (e *Engine) estimateNet(nid int32, ov *view.Overlay) float64 {
+	pts := ov.NetTerminals(nid)
 	if e.Cfg.CostMode == LengthOnly {
 		tree := steiner.Build(pts)
 		return float64(tree.Length())

@@ -7,24 +7,28 @@ import (
 	"sort"
 	"time"
 
-	"github.com/crp-eda/crp/internal/db"
 	"github.com/crp-eda/crp/internal/geom"
 	"github.com/crp-eda/crp/internal/ilp"
-	"github.com/crp-eda/crp/internal/route/global"
+	"github.com/crp-eda/crp/internal/view"
 )
 
 // Iterate runs one CR&P iteration (the five phases of Fig. 1's middle box)
 // and returns its statistics.
 //
-// The iteration is transactional: the update-database phase runs against a
-// position snapshot, and an invariant checker (grid demand consistency plus
-// placement legality) gates the commit. On violation the whole iteration is
-// rolled back — moved cells restored, rerouted nets re-committed to their
+// The iteration is transactional: the update-database phase runs inside a
+// view transaction (view.Txn), and the transaction's invariant check — an
+// O(Δ) diff of the demand journal against the route swaps, plus placement
+// legality — gates the commit. On violation the whole iteration is
+// discarded — moved cells restored, rerouted nets re-committed to their
 // old routes — so a bad iteration can degrade quality but never corrupt the
 // design. Cfg.IterTimeout (and any deadline already on ctx) bounds the
 // iteration; expiry stops it before the next uncommitted phase.
 func (e *Engine) Iterate(ctx context.Context) IterStats {
 	e.iter++
+	// The demand version at iteration entry: the read phases (label, GCP,
+	// ECC, selection) must not mutate demand, which the transaction's epoch
+	// accounting verifies against this value.
+	epoch0 := e.V.Version()
 	var st IterStats
 	deg := func(kind, detail string) {
 		st.Degradations = append(st.Degradations, Degradation{Iter: e.iter, Kind: kind, Detail: detail})
@@ -104,26 +108,29 @@ func (e *Engine) Iterate(ctx context.Context) IterStats {
 	}
 
 	t0 = time.Now()
-	snap := e.D.Snapshot()
-	moved, oldRoutes := e.applyMoves(chosen, curCost, &st)
+	txn := e.V.Begin(epoch0)
+	moved := e.applyMoves(txn, chosen, curCost, &st)
 	if h := e.Cfg.Hooks.PostUD; h != nil {
 		h(e.iter)
 	}
-	if err := e.checkInvariants(); err != nil {
-		e.rollback(snap, oldRoutes)
+	if err := txn.Check(); err != nil {
+		txn.Discard()
 		st.RolledBack = true
 		st.MovedCells, st.ReroutedNets, st.SkippedMoves = 0, 0, 0
 		st.EstBefore, st.EstAfter = 0, 0
 		deg("iteration-rollback", err.Error())
+		// The discard restored the transaction's own writes; the full-scan
+		// check verifies nothing outside the transaction is still broken.
 		if err2 := e.checkInvariants(); err2 != nil {
-			// Rollback failed to restore consistency: latch the engine so
+			// Discard failed to restore consistency: latch the engine so
 			// the run stops instead of compounding the corruption.
 			e.broken = true
 			deg("invariant-unrecoverable", err2.Error())
 		}
 	} else {
-		// Commit: history marking happens only on a kept iteration so a
-		// rolled-back move does not dampen the cell's future re-selection.
+		txn.Commit()
+		// History marking happens only on a kept iteration so a discarded
+		// move does not dampen the cell's future re-selection.
 		for _, id := range moved {
 			e.D.MarkMoved(id)
 		}
@@ -136,10 +143,13 @@ func (e *Engine) Iterate(ctx context.Context) IterStats {
 	return st
 }
 
-// checkInvariants verifies the two properties a committed iteration must
-// preserve: the grid's demand totals are exactly the committed routes plus
-// the construction-time residual (no leaked or double-counted rip-ups), and
-// every cell sits at a legal position.
+// checkInvariants is the full-scan variant of the invariant check: the
+// grid's demand totals are exactly the committed routes plus the
+// construction-time residual (no leaked or double-counted rip-ups), and
+// every cell sits at a legal position. The per-iteration gate runs the O(Δ)
+// transactional check instead (view.Txn.Check); this scan remains for the
+// places with no transaction diff to check against — validating a restored
+// checkpoint, and verifying consistency after a discard.
 func (e *Engine) checkInvariants() error {
 	sumW, sumV := e.routeDemand()
 	if drift := e.G.TotalWireUsage() - sumW - e.resWire; math.Abs(drift) > 1e-6 {
@@ -154,26 +164,6 @@ func (e *Engine) checkInvariants() error {
 		return fmt.Errorf("placement illegal: %w", err)
 	}
 	return nil
-}
-
-// rollback undoes an applyMoves transaction: every rerouted net is ripped
-// up and its pre-iteration route re-committed (restoring grid demand), then
-// all cell positions are restored from the snapshot.
-func (e *Engine) rollback(snap db.PositionSnapshot, oldRoutes map[int32]*global.Route) {
-	nids := make([]int32, 0, len(oldRoutes))
-	for nid := range oldRoutes {
-		nids = append(nids, nid)
-	}
-	sort.Slice(nids, func(a, b int) bool { return nids[a] < nids[b] })
-	for _, nid := range nids {
-		e.R.RipUp(nid)
-		e.R.Commit(oldRoutes[nid]) // Commit(nil) is a no-op: net was unrouted before
-	}
-	if err := e.D.Restore(snap); err != nil {
-		// Only possible if the cell count changed mid-iteration, which
-		// nothing does; checkInvariants will latch e.broken.
-		return
-	}
 }
 
 // selectCandidates builds and solves the Eq. 12 selection ILP: one
@@ -441,11 +431,11 @@ func (e *Engine) selectCandidates(ctx context.Context, cands [][]candidate) (_ [
 }
 
 // applyMoves is the Update Database phase: commit the selected moves and
-// rip-up & reroute every net touching a moved cell. It returns the moved
-// cell IDs (history marking is deferred until the iteration's invariant
-// check passes) and each rerouted net's pre-iteration route, which is
-// exactly what rollback needs to restore grid demand.
-func (e *Engine) applyMoves(chosen []*candidate, curCost map[int32]float64, st *IterStats) (moved []int32, oldRoutes map[int32]*global.Route) {
+// rip-up & reroute every net touching a moved cell, all through the
+// iteration's view transaction (which captures what a discard needs). It
+// returns the moved cell IDs — history marking is deferred until the
+// transaction's invariant check passes.
+func (e *Engine) applyMoves(txn *view.Txn, chosen []*candidate, curCost map[int32]float64, st *IterStats) (moved []int32) {
 	movedCells := map[int32]bool{}
 	for _, c := range chosen {
 		if c.isCurrent {
@@ -457,7 +447,7 @@ func (e *Engine) applyMoves(chosen []*candidate, curCost map[int32]float64, st *
 		for id, p := range c.conflicts {
 			moves[id] = p
 		}
-		if err := e.D.MoveCells(moves); err != nil {
+		if err := txn.MoveCells(moves); err != nil {
 			// The exclusion constraints should make this unreachable;
 			// count it rather than corrupting the placement.
 			st.SkippedMoves++
@@ -469,10 +459,8 @@ func (e *Engine) applyMoves(chosen []*candidate, curCost map[int32]float64, st *
 	}
 	st.MovedCells = len(movedCells)
 
-	// Reroute all nets touching moved cells, in deterministic order. The
-	// old route pointers are captured first: RerouteNet rips up (removing
-	// the old demand) before committing the new route, so the pointer is
-	// the only remaining handle for rollback.
+	// Reroute all nets touching moved cells, in deterministic order; the
+	// transaction records each net's pre-iteration route on first touch.
 	netSet := map[int32]bool{}
 	for id := range movedCells {
 		for _, nid := range e.D.Cells[id].Nets {
@@ -484,10 +472,8 @@ func (e *Engine) applyMoves(chosen []*candidate, curCost map[int32]float64, st *
 		nets = append(nets, nid)
 	}
 	sort.Slice(nets, func(a, b int) bool { return nets[a] < nets[b] })
-	oldRoutes = make(map[int32]*global.Route, len(nets))
 	for _, nid := range nets {
-		oldRoutes[nid] = e.R.Routes[nid]
-		e.R.RerouteNet(nid)
+		txn.RerouteNet(nid)
 	}
 	st.ReroutedNets = len(netSet)
 
@@ -496,5 +482,5 @@ func (e *Engine) applyMoves(chosen []*candidate, curCost map[int32]float64, st *
 		moved = append(moved, id)
 	}
 	sort.Slice(moved, func(a, b int) bool { return moved[a] < moved[b] })
-	return moved, oldRoutes
+	return moved
 }

@@ -10,9 +10,8 @@ import (
 	"github.com/crp-eda/crp/internal/checkpoint"
 	"github.com/crp-eda/crp/internal/crp"
 	"github.com/crp-eda/crp/internal/db"
-	"github.com/crp-eda/crp/internal/grid"
 	"github.com/crp-eda/crp/internal/lefdef"
-	"github.com/crp-eda/crp/internal/route/global"
+	"github.com/crp-eda/crp/internal/view"
 )
 
 // Checkpointing configures crash-safe journaling of the CR&P loop. The
@@ -40,10 +39,10 @@ type Checkpointing struct {
 // fresh run.
 var ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
 
-// snapshot captures the resumable state at the current iteration boundary.
+// snapshot captures the resumable state at the current iteration boundary:
+// the design state materializes through the view's single exporter, the
+// rest is flow metadata.
 func snapshotState(s session, engine *crp.Engine, kEff int, totalMoved int, degs []Degradation) *checkpoint.Snapshot {
-	pos, orient := s.d.ExportPositions()
-	crit, moved := s.d.ExportHistory()
 	st := engine.State()
 	snap := &checkpoint.Snapshot{
 		DesignName: s.d.Name,
@@ -54,13 +53,8 @@ func snapshotState(s session, engine *crp.Engine, kEff int, totalMoved int, degs
 		Iter:       st.Iter,
 		RNGDraws:   st.RNGDraws,
 		TotalMoved: totalMoved,
-		Pos:        pos,
-		Orient:     orient,
-		Critical:   crit,
-		Moved:      moved,
-		Routes:     s.r.Routes,
-		Demand:     s.g.ExportDemand(),
 	}
+	snap.SetViewState(s.v.Materialize())
 	for _, d := range degs {
 		snap.Degradations = append(snap.Degradations,
 			checkpoint.Degradation{Stage: d.Stage, Kind: d.Kind, Detail: d.Detail})
@@ -225,15 +219,13 @@ func Resume(ctx context.Context, d *db.Design, k int, cfg Config, ck *Checkpoint
 
 // restoreSession rebuilds the live session (design placement and history,
 // grid demand, committed routes, engine state) from a snapshot and
-// validates it.
-//
-// Ordering matters: the grid is constructed only after positions are
-// restored, but its construction-time demand seeding reflects *current*
-// pin positions while the checkpointed demand was seeded from the
-// *initial* placement — so the recorded demand arrays overwrite the fresh
-// grid's verbatim. The engine's construction-time residuals (grid demand
-// minus committed-route demand) then reproduce the original run's exactly,
-// which the invariant check confirms before any iteration runs.
+// validates it. The design state goes through the view layer's single
+// Rebuild path, which also owns the ordering constraint the restore depends
+// on (grid construction after position restore, recorded demand overwriting
+// the fresh seeding verbatim — see view.Rebuild). The engine's
+// construction-time residuals (grid demand minus committed-route demand)
+// then reproduce the original run's exactly, which the invariant check
+// confirms before any iteration runs.
 func restoreSession(d *db.Design, k int, cfg Config, snap *checkpoint.Snapshot) (session, *crp.Engine, error) {
 	ccfg := crpConfig(cfg, k)
 	if snap.DesignName != d.Name || snap.Cells != len(d.Cells) || snap.Nets != len(d.Nets) {
@@ -247,20 +239,11 @@ func restoreSession(d *db.Design, k int, cfg Config, snap *checkpoint.Snapshot) 
 	if snap.Iter > snap.K {
 		return session{}, nil, fmt.Errorf("flow: checkpoint iteration %d exceeds k=%d", snap.Iter, snap.K)
 	}
-	if err := d.ImportPositions(snap.Pos, snap.Orient); err != nil {
-		return session{}, nil, fmt.Errorf("flow: restoring placement: %w", err)
+	v, err := view.Rebuild(d, cfg.Grid, cfg.Global, snap.ViewState())
+	if err != nil {
+		return session{}, nil, fmt.Errorf("flow: %w", err)
 	}
-	if err := d.ImportHistory(snap.Critical, snap.Moved); err != nil {
-		return session{}, nil, fmt.Errorf("flow: restoring history: %w", err)
-	}
-	g := grid.New(d, cfg.Grid)
-	if err := g.RestoreDemand(snap.Demand); err != nil {
-		return session{}, nil, fmt.Errorf("flow: restoring grid demand: %w", err)
-	}
-	r := global.New(d, g, cfg.Global)
-	if err := r.AdoptRoutes(snap.Routes); err != nil {
-		return session{}, nil, fmt.Errorf("flow: restoring routes: %w", err)
-	}
+	g, r := v.Grid(), v.Router()
 	engine := crp.New(d, g, r, ccfg)
 	if err := engine.RestoreState(crp.State{Iter: snap.Iter, RNGDraws: snap.RNGDraws}); err != nil {
 		return session{}, nil, fmt.Errorf("flow: restoring engine state: %w", err)
@@ -268,5 +251,5 @@ func restoreSession(d *db.Design, k int, cfg Config, snap *checkpoint.Snapshot) 
 	if err := engine.CheckInvariants(); err != nil {
 		return session{}, nil, fmt.Errorf("flow: restored state fails invariants: %w", err)
 	}
-	return session{d, g, r}, engine, nil
+	return session{d, g, r, v}, engine, nil
 }

@@ -25,9 +25,9 @@ import (
 	"github.com/crp-eda/crp/internal/db"
 	"github.com/crp-eda/crp/internal/eval"
 	"github.com/crp-eda/crp/internal/grid"
-	"github.com/crp-eda/crp/internal/lefdef"
 	"github.com/crp-eda/crp/internal/route/detail"
 	"github.com/crp-eda/crp/internal/route/global"
+	"github.com/crp-eda/crp/internal/view"
 )
 
 // Budgets holds the per-stage wall-clock deadlines of a flow run. Zero
@@ -138,11 +138,13 @@ func (r *Result) absorbCRP(stats *crp.Result) {
 }
 
 // session holds the live state of a run, exposed so callers (the CLI) can
-// write DEF/guide outputs after the flow finishes.
+// write DEF/guide outputs after the flow finishes. v is the design-state
+// view over the three stores; checkpoints materialize through it.
 type session struct {
 	d *db.Design
 	g *grid.Grid
 	r *global.Router
+	v *view.View
 }
 
 // flowCtx applies the whole-pipeline budget. The returned cancel must be
@@ -193,7 +195,7 @@ func globalRoute(ctx context.Context, d *db.Design, cfg Config, res *Result) (se
 		res.degrade("gr", "stage-deadline",
 			fmt.Sprintf("global routing stopped after %d nets; RRR/final passes may be short", st.RoutedNets))
 	}
-	return session{d, g, r}, st, time.Since(t0)
+	return session{d, g, r, view.New(d, g, r)}, st, time.Since(t0)
 }
 
 // detailRoute runs stage 3 under the DR budget and evaluates.
@@ -296,15 +298,8 @@ func RunCRPWithOutputs(ctx context.Context, d *db.Design, k int, cfg Config, def
 	tMid := time.Since(t0)
 	res.absorbCRP(stats)
 	m, tDR := detailRoute(ctx, s, cfg, res)
-	if defOut != nil {
-		if err := lefdef.WriteDEF(defOut, s.d); err != nil {
-			return nil, fmt.Errorf("flow: writing DEF: %w", err)
-		}
-	}
-	if guideOut != nil {
-		if err := lefdef.WriteGuides(guideOut, s.d, s.g, s.r.Routes); err != nil {
-			return nil, fmt.Errorf("flow: writing guides: %w", err)
-		}
+	if err := writeRunOutputs(s, defOut, guideOut); err != nil {
+		return nil, err
 	}
 	res.Metrics = m
 	res.GlobalStats = gst

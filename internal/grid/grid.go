@@ -78,6 +78,9 @@ type Grid struct {
 	// feeds Eq. 9/10 — and therefore every edge cost — is frozen while the
 	// epoch is unchanged, so cost caches key their validity on it.
 	epoch uint64
+
+	// journal, when attached, records every demand mutation (see Journal).
+	journal *Journal
 }
 
 // Epoch returns the demand epoch: it advances on every AddWire/AddVia, so
@@ -264,6 +267,10 @@ func (g *Grid) FixedUsage(x, y, l int) float64 { return g.fixed[l][g.idx(x, y)] 
 func (g *Grid) AddWire(x, y, l int, delta float64) {
 	i := g.idx(x, y)
 	g.epoch++
+	if g.journal != nil {
+		g.journal.Wire[EdgeKey{L: int32(l), I: int32(i)}] += delta
+		g.journal.Mutations++
+	}
 	g.wire[l][i] += delta
 	if g.wire[l][i] < 0 {
 		// Rip-up must never exceed what was committed; clamping hides an
@@ -284,6 +291,10 @@ func (g *Grid) ViaCount(x, y, l int) float64 {
 func (g *Grid) AddVia(x, y, l int, delta float64) {
 	i := g.idx(x, y)
 	g.epoch++
+	if g.journal != nil {
+		g.journal.Vias[EdgeKey{L: int32(l), I: int32(i)}] += delta
+		g.journal.Mutations++
+	}
 	g.vias[l][i] += delta
 	if g.vias[l][i] < -1e-9 {
 		panic(fmt.Sprintf("grid: via count at (%d,%d,l%d) went negative", x, y, l))
@@ -402,6 +413,12 @@ func (g *Grid) ExportDemand() DemandState {
 // RestoreDemand overwrites the grid's wire and via demand with a prior
 // ExportDemand, advancing the epoch so every cost cache revalidates.
 func (g *Grid) RestoreDemand(s DemandState) error {
+	if g.journal != nil {
+		// A bulk overwrite cannot be expressed as journal deltas; restoring
+		// mid-transaction would silently break the journal's completeness
+		// guarantee.
+		panic("grid: RestoreDemand while a demand journal is attached")
+	}
 	if s.NX != g.NX || s.NY != g.NY || s.NL != g.NL {
 		return fmt.Errorf("grid: demand state is %dx%dx%d, grid is %dx%dx%d",
 			s.NX, s.NY, s.NL, g.NX, g.NY, g.NL)

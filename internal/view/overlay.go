@@ -1,0 +1,145 @@
+package view
+
+import (
+	"sort"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/geom"
+)
+
+// Overlay is the speculation layer: a set of hypothetical cell moves staged
+// over the base view, with every other cell fixed — exactly the reading
+// model of Algorithm 3, which prices each candidate as if its moves were
+// applied. Staging writes nothing to the base; Reset (or Discard) drops the
+// overlay in O(staged cells).
+//
+// Staged moves and the per-net terminal buffers live in reusable slices
+// with linear scans — move counts are tiny (a critical cell plus at most a
+// few conflicts), so slices beat maps on both allocation and lookup, which
+// is what keeps the ECC fast path allocation-lean (see
+// BenchmarkECCEstimateCosts).
+//
+// Iteration order is deterministic and significant: AffectedNets yields
+// nets in discovery order over the staged cells, and per-net costs are
+// summed in that order — float addition is not associative, so the staging
+// order (critical cell first, conflicts in ascending ID order via
+// StageSorted) is part of the bit-identity contract.
+type Overlay struct {
+	v *View
+
+	ids    []int32      // staged cells, in staging order
+	pos    []geom.Point // parallel to ids: hypothetical position
+	orient []db.Orient  // parallel to ids: orientation at that position
+
+	nets []int32      // AffectedNets result buffer
+	conf []int32      // StageSorted key buffer
+	pts  []geom.Point // NetTerminals result buffer
+}
+
+// Reset drops every staged move, keeping the buffers for reuse.
+func (o *Overlay) Reset() {
+	o.ids = o.ids[:0]
+	o.pos = o.pos[:0]
+	o.orient = o.orient[:0]
+}
+
+// Discard is Reset under the name the layering contract uses: an overlay
+// never wrote to the base, so discarding it is free.
+func (o *Overlay) Discard() { o.Reset() }
+
+// Stage records the hypothetical move of cell id to p. The orientation is
+// resolved once per staged cell: the row at p's height dictates it, falling
+// back to the cell's committed orientation off-row (matching how a real
+// move through db.MoveCells would orient the cell).
+func (o *Overlay) Stage(id int32, p geom.Point) {
+	d := o.v.d
+	orient := d.Cells[id].Orient
+	if row, ok := d.RowAt(p.Y); ok {
+		orient = row.Orient
+	}
+	o.ids = append(o.ids, id)
+	o.pos = append(o.pos, p)
+	o.orient = append(o.orient, orient)
+}
+
+// StageSorted stages every move in the map in ascending cell-ID order —
+// the deterministic order the candidate cost sums depend on.
+func (o *Overlay) StageSorted(moves map[int32]geom.Point) {
+	o.conf = o.conf[:0]
+	for id := range moves {
+		o.conf = append(o.conf, id)
+	}
+	sort.Slice(o.conf, func(a, b int) bool { return o.conf[a] < o.conf[b] })
+	for _, id := range o.conf {
+		o.Stage(id, moves[id])
+	}
+}
+
+// Staged returns the staged cell IDs in staging order. The slice is owned
+// by the overlay and valid until the next Stage/Reset.
+func (o *Overlay) Staged() []int32 { return o.ids }
+
+// Pos returns the cell's position as seen through the overlay: the staged
+// position if the cell is staged, the base position otherwise.
+func (o *Overlay) Pos(id int32) geom.Point {
+	for k, sid := range o.ids {
+		if sid == id {
+			return o.pos[k]
+		}
+	}
+	return o.v.Pos(id)
+}
+
+// AffectedNets returns the nets incident to any staged cell, each exactly
+// once, in discovery order (staged order, then each cell's net order) —
+// the order Algorithm 3 sums candidate costs in. The slice is owned by the
+// overlay and valid until the next call.
+func (o *Overlay) AffectedNets() []int32 {
+	d := o.v.d
+	o.nets = o.nets[:0]
+	for _, id := range o.ids {
+		for _, nid := range d.Cells[id].Nets {
+			dup := false
+			for _, sn := range o.nets {
+				if sn == nid {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			o.nets = append(o.nets, nid)
+		}
+	}
+	return o.nets
+}
+
+// NetTerminals returns the terminal points of net nid as seen through the
+// overlay: pins of staged cells at their staged position and orientation,
+// all other pins at their committed position, then the net's IO terminals.
+// The slice is owned by the overlay and valid until the next call.
+func (o *Overlay) NetTerminals(nid int32) []geom.Point {
+	d := o.v.d
+	n := d.Nets[nid]
+	pts := o.pts[:0]
+	for _, pr := range n.Pins {
+		c := d.Cells[pr.Cell]
+		moved := false
+		for k, id := range o.ids {
+			if id == pr.Cell {
+				pts = append(pts, d.PinPositionAt(c, pr.Pin, o.pos[k], o.orient[k]))
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			pts = append(pts, d.PinPosition(c, pr.Pin))
+		}
+	}
+	for _, io := range n.IOs {
+		pts = append(pts, io.Pos)
+	}
+	o.pts = pts
+	return pts
+}

@@ -1,0 +1,90 @@
+package view
+
+import (
+	"fmt"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/grid"
+	"github.com/crp-eda/crp/internal/route/global"
+)
+
+// State is the materialized mutable state of a view: everything the CR&P
+// loop can change, in one exportable bundle — cell positions and
+// orientations, the Algorithm 1 history sets, the per-net routes, and the
+// grid's demand arrays. It is the single unit checkpoints serialize and
+// resumes rebuild; the per-store export/import APIs (db.ExportPositions,
+// grid.ExportDemand, global.AdoptRoutes, …) remain as the thin primitives
+// underneath.
+type State struct {
+	Pos      []geom.Point
+	Orient   []db.Orient
+	Critical []bool
+	Moved    []bool
+	// Routes is indexed by net ID; nil entries are unrouted nets.
+	Routes []*global.Route
+	Demand grid.DemandState
+}
+
+// Materialize exports the view's mutable state. Positions, history bits and
+// demand arrays are deep copies; routes are a copied slice of the live
+// (immutable once committed) route values.
+func (v *View) Materialize() State {
+	pos, orient := v.d.ExportPositions()
+	crit, moved := v.d.ExportHistory()
+	return State{
+		Pos:      pos,
+		Orient:   orient,
+		Critical: crit,
+		Moved:    moved,
+		Routes:   append([]*global.Route(nil), v.r.Routes...),
+		Demand:   v.g.ExportDemand(),
+	}
+}
+
+// Restore overwrites the view's mutable state in place with a previously
+// materialized State. The stores must be the ones the state was taken from
+// (same design, same grid dimensions); no transaction may be open.
+func (v *View) Restore(st State) error {
+	if err := v.d.ImportPositions(st.Pos, st.Orient); err != nil {
+		return fmt.Errorf("view: restoring placement: %w", err)
+	}
+	if err := v.d.ImportHistory(st.Critical, st.Moved); err != nil {
+		return fmt.Errorf("view: restoring history: %w", err)
+	}
+	if err := v.g.RestoreDemand(st.Demand); err != nil {
+		return fmt.Errorf("view: restoring grid demand: %w", err)
+	}
+	if err := v.r.AdoptRoutes(st.Routes); err != nil {
+		return fmt.Errorf("view: restoring routes: %w", err)
+	}
+	return nil
+}
+
+// Rebuild constructs a fresh grid, router and view over d and restores a
+// materialized State into them — the resume path.
+//
+// Ordering matters: the grid is constructed only after positions are
+// restored, because its construction-time demand seeding reads pin
+// positions — yet that fresh seeding reflects the *current* placement while
+// the recorded demand was seeded from the *initial* one, so the recorded
+// demand arrays then overwrite the fresh grid's verbatim. That exact
+// sequence is what makes a rebuilt session bit-identical to the one that
+// was materialized.
+func Rebuild(d *db.Design, gp grid.Params, gcfg global.Config, st State) (*View, error) {
+	if err := d.ImportPositions(st.Pos, st.Orient); err != nil {
+		return nil, fmt.Errorf("view: restoring placement: %w", err)
+	}
+	if err := d.ImportHistory(st.Critical, st.Moved); err != nil {
+		return nil, fmt.Errorf("view: restoring history: %w", err)
+	}
+	g := grid.New(d, gp)
+	if err := g.RestoreDemand(st.Demand); err != nil {
+		return nil, fmt.Errorf("view: restoring grid demand: %w", err)
+	}
+	r := global.New(d, g, gcfg)
+	if err := r.AdoptRoutes(st.Routes); err != nil {
+		return nil, fmt.Errorf("view: restoring routes: %w", err)
+	}
+	return New(d, g, r), nil
+}
