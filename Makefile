@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race lint-state bench-smoke bench-json fuzz-smoke chaos crash-chaos
+.PHONY: check vet build test race race-solver lint-state bench-smoke bench-json fuzz-smoke chaos crash-chaos
 
 ## check: the full pre-merge gate — vet, build, state lint, race-enabled
 ## tests, bench smoke, chaos suite, crash-chaos suite, fuzz smoke.
-check: vet build lint-state race bench-smoke chaos crash-chaos fuzz-smoke
+check: vet build lint-state race-solver race bench-smoke chaos crash-chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +17,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## race-solver: fast early race gate over the GCP fast path — the shared
+## solve/window caches and the parallel candidate-generation fan-out are the
+## only lock-coordinated hot paths, so race them first and with -count=1.
+race-solver:
+	$(GO) test -race -count=1 ./internal/ilp/... ./internal/legal/... ./internal/crp/...
 
 ## bench-smoke: one-shot Fig. 3 breakdown — catches benchmark-harness rot
 ## without paying for a real measurement run.
@@ -38,7 +44,7 @@ lint-state:
 ## bench-json: regenerate the BENCH_*.json performance snapshot
 ## (see EXPERIMENTS.md, "Performance architecture"). Override the target
 ## with BENCH=..., e.g. `make bench-json BENCH=BENCH_6.json`.
-BENCH ?= BENCH_5.json
+BENCH ?= BENCH_6.json
 bench-json:
 	$(GO) run ./cmd/benchreport -o $(BENCH)
 
@@ -68,3 +74,4 @@ fuzz-smoke:
 	$(GO) test ./internal/lefdef -fuzz 'FuzzDEFRoundTrip$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
 	$(GO) test ./internal/checkpoint -fuzz 'FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
 	$(GO) test ./internal/view -fuzz 'FuzzOverlayCommit$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
+	$(GO) test ./internal/ilp -fuzz 'FuzzILPSolve$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x

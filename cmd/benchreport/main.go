@@ -1,11 +1,15 @@
-// Command benchreport measures the estimation fast path (the memoised ECC
-// pipeline of internal/route/global + internal/crp) and writes a BENCH_*.json
-// snapshot: the Fig. 3 flow phase times with the caches off ("before") and on
-// ("after"), plus micro-benchmarks of EstimateTerminalCost in both modes.
+// Command benchreport measures the flow's fast paths — the memoised ECC
+// pipeline of internal/route/global + internal/crp and the GCP solver fast
+// path of internal/legal + internal/ilp — and writes a BENCH_*.json snapshot:
+// the Fig. 3 flow phase times with the caches off ("before") and on ("after"),
+// micro-benchmarks of EstimateTerminalCost in both modes, and a gcp_breakdown
+// section splitting GCP wall time into candidate generation, legalizer
+// relocation-ILP, and selection-ILP shares for both the legacy dense-tableau
+// solver path and the sparse warm-started fast path.
 //
 // Usage:
 //
-//	benchreport [-o BENCH_5.json] [-scale 0.004] [-k 10] [-prev BENCH_1.json]
+//	benchreport [-o BENCH_6.json] [-scale 0.004] [-k 10] [-prev BENCH_5.json]
 //
 // The cache-off and cache-on flows run the same circuit with the same seeds;
 // the estimation caches are bit-transparent (see DESIGN.md, "Performance
@@ -84,6 +88,30 @@ type report struct {
 	// (Before; zero when no previous snapshot loads) with this run's CacheOn
 	// phases (After).
 	Fig3Breakdown phaseComparison `json:"fig3_breakdown"`
+	// GCPBreakdown splits the GCP stage (candidate generation + relocation
+	// ILPs) and the selection ILP, comparing the preserved seed legalizer +
+	// dense-tableau solver against the fast path (presolve, sparse simplex,
+	// window/solve caches) on the same binary and circuit.
+	GCPBreakdown gcpComparison `json:"gcp_breakdown"`
+}
+
+// gcpSeconds is the GCP-stage split of one flow run. The wall column is
+// elapsed time; the cpu columns are summed across workers.
+type gcpSeconds struct {
+	GCPWallS      float64 `json:"gcp_wall_s"`
+	CandidateGenS float64 `json:"candidate_gen_cpu_s"`
+	LegalizerILPS float64 `json:"legalizer_ilp_cpu_s"`
+	SelectionILPS float64 `json:"selection_ilp_wall_s"`
+}
+
+// gcpComparison pairs a dense-path run with a fast-path run, plus the
+// fast-path numbers of the -prev snapshot for cross-PR continuity.
+type gcpComparison struct {
+	DensePath gcpSeconds `json:"dense_path"`
+	FastPath  gcpSeconds `json:"fast_path"`
+	Prev      gcpSeconds `json:"prev"`
+	// GCPSpeedup is dense GCP wall-clock over fast GCP wall-clock.
+	GCPSpeedup float64 `json:"gcp_speedup"`
 }
 
 // microComparison is a before/after pair of micro-benchmark measurements.
@@ -113,15 +141,22 @@ func phases(t flow.Timings) phaseSeconds {
 	return p
 }
 
-func runFlow(spec ispd.Spec, k int, disableCache bool) (phaseSeconds, error) {
+func runFlow(spec ispd.Spec, k int, disableCache, denseSolver bool) (phaseSeconds, gcpSeconds, error) {
 	d, err := ispd.Generate(spec)
 	if err != nil {
-		return phaseSeconds{}, err
+		return phaseSeconds{}, gcpSeconds{}, err
 	}
 	cfg := flow.DefaultConfig()
 	cfg.Global.DisableEstimateCache = disableCache
+	cfg.CRP.DisableSolverFastPath = denseSolver
 	res := flow.RunCRP(context.Background(), d, k, cfg)
-	return phases(res.Timings), nil
+	gcp := gcpSeconds{
+		GCPWallS:      res.Timings.CRPPhases.GCP.Seconds(),
+		CandidateGenS: res.Timings.CRPPhases.GCPGen.Seconds(),
+		LegalizerILPS: res.Timings.CRPPhases.GCPILP.Seconds(),
+		SelectionILPS: res.Timings.CRPPhases.ILP.Seconds(),
+	}
+	return phases(res.Timings), gcp, nil
 }
 
 func microEstimate(d *db.Design, disableCache bool) microResult {
@@ -190,10 +225,10 @@ func loadPrev(path string) (report, error) {
 
 func main() {
 	var (
-		out   = flag.String("o", "BENCH_5.json", "output path")
+		out   = flag.String("o", "BENCH_6.json", "output path")
 		scale = flag.Float64("scale", 0.004, "suite scale (matches CRP_BENCH_SCALE)")
 		k     = flag.Int("k", 10, "CR&P iterations for the flow runs")
-		prev  = flag.String("prev", "BENCH_1.json", "previous snapshot for the fig3_breakdown before column (\"\" = skip)")
+		prev  = flag.String("prev", "BENCH_5.json", "previous snapshot for the before/continuity columns (\"\" = skip)")
 		// Pre-refactor BenchmarkECCEstimateCosts record (scratch-buffer
 		// implementation, same fixture), measured immediately before the
 		// DesignView refactor landed.
@@ -212,16 +247,25 @@ func main() {
 	}
 
 	var err error
-	if rep.CacheOff, err = runFlow(spec, *k, true); err != nil {
+	if rep.CacheOff, _, err = runFlow(spec, *k, true, false); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
-	if rep.CacheOn, err = runFlow(spec, *k, false); err != nil {
+	if rep.CacheOn, rep.GCPBreakdown.FastPath, err = runFlow(spec, *k, false, false); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
 	if rep.CacheOn.ECCS > 0 {
 		rep.ECCSpeedup = rep.CacheOff.ECCS / rep.CacheOn.ECCS
+	}
+	// Dense-solver run: the seed legalizer path and dense-tableau ILPs,
+	// with the estimation caches on so only this PR's GCP work differs.
+	if _, rep.GCPBreakdown.DensePath, err = runFlow(spec, *k, false, true); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if rep.GCPBreakdown.FastPath.GCPWallS > 0 {
+		rep.GCPBreakdown.GCPSpeedup = rep.GCPBreakdown.DensePath.GCPWallS / rep.GCPBreakdown.FastPath.GCPWallS
 	}
 
 	md, err := ispd.Generate(spec)
@@ -242,9 +286,10 @@ func main() {
 	rep.Fig3Breakdown.After = rep.CacheOn
 	if *prev != "" {
 		if p, err := loadPrev(*prev); err != nil {
-			fmt.Fprintf(os.Stderr, "benchreport: no previous snapshot (%v); fig3_breakdown.before left zero\n", err)
+			fmt.Fprintf(os.Stderr, "benchreport: no previous snapshot (%v); before columns left zero\n", err)
 		} else {
 			rep.Fig3Breakdown.Before = p.CacheOn
+			rep.GCPBreakdown.Prev = p.GCPBreakdown.FastPath
 		}
 	}
 
@@ -262,6 +307,10 @@ func main() {
 	}
 	fmt.Printf("wrote %s: ECC %0.3fs (cache off) -> %0.3fs (cache on), %.1fx\n",
 		*out, rep.CacheOff.ECCS, rep.CacheOn.ECCS, rep.ECCSpeedup)
+	fmt.Printf("GCP: %0.3fs (dense path) -> %0.3fs (fast path), %.1fx; selection ILP %0.3fs -> %0.3fs\n",
+		rep.GCPBreakdown.DensePath.GCPWallS, rep.GCPBreakdown.FastPath.GCPWallS,
+		rep.GCPBreakdown.GCPSpeedup,
+		rep.GCPBreakdown.DensePath.SelectionILPS, rep.GCPBreakdown.FastPath.SelectionILPS)
 	ecc := rep.ECCEstimateCosts
 	if ecc.Before.NsPerOp > 0 {
 		fmt.Printf("ECC estimate costs: %.0f ns/op before -> %.0f ns/op after (%+.1f%%)\n",

@@ -121,6 +121,11 @@ type Config struct {
 	// SelectMaxNodes caps the selection ILP's branch & bound nodes;
 	// 0 means the historical default of 200k nodes.
 	SelectMaxNodes int
+	// DisableSolverFastPath routes every ILP in the iteration — the
+	// legalizer's relocation models and the selection model — through the
+	// legacy dense-tableau solver and disables the legalizer's result
+	// caches; the differential-testing escape hatch.
+	DisableSolverFastPath bool
 	// Hooks are fault-injection/testing seams; zero value = none.
 	Hooks Hooks
 }
@@ -145,6 +150,13 @@ type PhaseTimes struct {
 	ECC   time.Duration
 	ILP   time.Duration // selection ILP (Misc)
 	UD    time.Duration
+
+	// GCPGen / GCPILP split the GCP phase into pure candidate-generation
+	// work and relocation-ILP solving. Both are summed across concurrent
+	// workers (CPU-time-like), so they need not add up to the wall-clock
+	// GCP above.
+	GCPGen time.Duration
+	GCPILP time.Duration
 }
 
 // Misc returns the paper's Misc bucket (everything but GCP/ECC/UD).
@@ -196,6 +208,8 @@ func (r *Result) Times() PhaseTimes {
 		t.ECC += it.Times.ECC
 		t.ILP += it.Times.ILP
 		t.UD += it.Times.UD
+		t.GCPGen += it.Times.GCPGen
+		t.GCPILP += it.Times.GCPILP
 	}
 	return t
 }
@@ -221,6 +235,9 @@ type Engine struct {
 	// every worker a stable index, so phase-3 costing runs allocation-lean
 	// without locking.
 	ovs []*view.Overlay
+	// scratch holds one legalizer scratch per worker slot for the phase-2
+	// candidate-generation fan-out.
+	scratch []*legal.Scratch
 
 	// iter is the 1-based running iteration counter (fills Degradation.Iter).
 	iter int
@@ -252,22 +269,28 @@ func New(d *db.Design, g *grid.Grid, r *global.Router, cfg Config) *Engine {
 	if cfg.SelectMaxNodes <= 0 {
 		cfg.SelectMaxNodes = 200_000
 	}
+	if cfg.DisableSolverFastPath {
+		cfg.Legal.DisableSolverFastPath = true
+	}
 	v := view.New(d, g, r)
 	ovs := make([]*view.Overlay, cfg.Workers)
+	scratch := make([]*legal.Scratch, cfg.Workers)
 	for i := range ovs {
 		ovs[i] = v.Overlay()
+		scratch[i] = legal.NewScratch()
 	}
 	src := newCountedSource(cfg.Seed)
 	e := &Engine{
-		D:   d,
-		G:   g,
-		R:   r,
-		L:   legal.New(d, cfg.Legal),
-		Cfg: cfg,
-		V:   v,
-		rng: rand.New(src),
-		src: src,
-		ovs: ovs,
+		D:       d,
+		G:       g,
+		R:       r,
+		L:       legal.New(d, cfg.Legal),
+		Cfg:     cfg,
+		V:       v,
+		rng:     rand.New(src),
+		src:     src,
+		ovs:     ovs,
+		scratch: scratch,
 	}
 	sumW, sumV := e.routeDemand()
 	e.resWire = g.TotalWireUsage() - sumW
@@ -449,14 +472,14 @@ func (c *candidate) movedCells() []int32 {
 // selection phase can never pick half-generated work.
 func (e *Engine) generateCandidates(ctx context.Context, critical []int32) ([][]candidate, []quarantined) {
 	out := make([][]candidate, len(critical))
-	quar := e.parallelFor(ctx, len(critical), func(_, i int) {
+	quar := e.parallelFor(ctx, len(critical), func(w, i int) {
 		if h := e.Cfg.Hooks.GCP; h != nil {
 			h(e.iter, i)
 		}
 		cid := critical[i]
 		cur := e.V.Pos(cid)
 		cands := []candidate{{cell: cid, pos: cur, conflicts: map[int32]geom.Point{}, isCurrent: true}}
-		for _, lc := range e.L.Run(cid) {
+		for _, lc := range e.L.RunScratch(cid, e.scratch[w]) {
 			cands = append(cands, candidate{cell: cid, pos: lc.Pos, conflicts: lc.Conflicts})
 		}
 		out[i] = cands

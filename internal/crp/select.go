@@ -52,8 +52,16 @@ func (e *Engine) Iterate(ctx context.Context) IterStats {
 
 	t0 = time.Now()
 	ls0 := e.L.Stats()
+	run0, solve0 := e.L.Timing()
+	// The placement is frozen until the UD phase applies the selection, so
+	// the whole fan-out is one legalizer pass: medians memoised by one Run
+	// stay valid for every later Run this iteration.
+	e.L.BeginPass()
 	cands, quarGCP := e.generateCandidates(ctx, critical)
 	st.Times.GCP = time.Since(t0)
+	run1, solve1 := e.L.Timing()
+	st.Times.GCPILP = solve1 - solve0
+	st.Times.GCPGen = (run1 - run0) - st.Times.GCPILP
 	for _, q := range quarGCP {
 		deg("worker-panic", fmt.Sprintf("GCP cell #%d quarantined: %s", q.index, q.msg))
 	}
@@ -315,7 +323,11 @@ func (e *Engine) selectCandidates(ctx context.Context, cands [][]candidate) (_ [
 	// Solve budget: the configured node cap, the configured per-solve time
 	// limit, and whatever remains of the iteration deadline — whichever is
 	// tightest. A deadline already in the past skips the solve entirely.
-	opt := ilp.Options{MaxNodes: e.Cfg.SelectMaxNodes, TimeLimit: e.Cfg.ILPTimeLimit}
+	opt := ilp.Options{
+		MaxNodes:              e.Cfg.SelectMaxNodes,
+		TimeLimit:             e.Cfg.ILPTimeLimit,
+		DisableSolverFastPath: e.Cfg.DisableSolverFastPath,
+	}
 	skipSolve := false
 	if dl, ok := ctx.Deadline(); ok {
 		rem := time.Until(dl)

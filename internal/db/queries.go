@@ -133,6 +133,40 @@ func (d *Design) NetMedianOf(id int32) geom.Point {
 	return geom.MedianPoint(pts)
 }
 
+// MedianScratch holds reusable buffers for NetMedianOfScratch.
+type MedianScratch struct {
+	xs, ys []int
+}
+
+// NetMedianOfScratch is NetMedianOf with caller-provided buffers — the
+// legalizer computes medians for every cell in every window it opens, and
+// the four per-call allocations of the plain version dominated that path.
+// Results are identical: the same terminal coordinates feed the same
+// lower-median selection.
+func (d *Design) NetMedianOfScratch(id int32, s *MedianScratch) geom.Point {
+	c := d.Cells[id]
+	xs, ys := s.xs[:0], s.ys[:0]
+	for _, nid := range c.Nets {
+		n := d.Nets[nid]
+		for _, pr := range n.Pins {
+			if pr.Cell != id {
+				p := d.PinPosition(d.Cells[pr.Cell], pr.Pin)
+				xs = append(xs, p.X)
+				ys = append(ys, p.Y)
+			}
+		}
+		for _, io := range n.IOs {
+			xs = append(xs, io.Pos.X)
+			ys = append(ys, io.Pos.Y)
+		}
+	}
+	s.xs, s.ys = xs, ys
+	if len(xs) == 0 {
+		return c.Pos
+	}
+	return geom.Pt(geom.MedianInPlace(xs), geom.MedianInPlace(ys))
+}
+
 // CellsTouchingRect returns the IDs of movable cells whose footprint
 // intersects r, in no particular order.
 func (d *Design) CellsTouchingRect(r geom.Rect) []int32 {

@@ -230,6 +230,16 @@ func Median(xs []int) int {
 	return quickselect(cp, k)
 }
 
+// MedianInPlace returns the lower median of xs, reordering xs in the
+// process — Median without the defensive copy, for callers that own the
+// slice.
+func MedianInPlace(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return quickselect(xs, (len(xs)-1)/2)
+}
+
 // MedianPoint returns the component-wise lower median of the points: the
 // classic optimal single-cell location for star-model wirelength.
 func MedianPoint(pts []Point) Point {

@@ -1,0 +1,388 @@
+package ilp
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// This file implements the fast-path presolve: cheap, provably-safe
+// reductions applied to one localized component before branch & bound.
+//
+//   - constraint normalisation: terms sorted by variable, duplicate terms
+//     accumulated, zero coefficients dropped;
+//   - singleton-row and activity-bound (forcing) fixings, plus redundant-row
+//     elimination from min/max activity;
+//   - duplicate-row folding (same terms, same operator -> tightest RHS);
+//   - dual (cost-based) fixing of variables no live constraint can push
+//     against;
+//   - fixed-variable elimination folded into row RHS, iterated to fixpoint.
+//
+// Every reduction is exact on 0/1 models: any optimal solution of the
+// reduced model extends, with the recorded fixings, to an optimal solution
+// of the original component.
+
+// preRow is one live constraint over local variable indices. Terms are kept
+// sorted by idx with unique variables and non-zero coefficients.
+type preRow struct {
+	idx  []int32
+	a    []float64
+	op   Op
+	b    float64
+	dead bool
+}
+
+// preModel is a localized component undergoing presolve. The trailing
+// buffers are reduction scratch, reused across solves when the preModel
+// lives inside a pooled fastScratch.
+type preModel struct {
+	costs      []float64
+	rows       []preRow
+	fixed      []int8 // -1 free, else the fixed 0/1 value
+	fixedCost  float64
+	infeasible bool
+	nFree      int
+
+	downBad []bool
+	upBad   []bool
+	dupSeen map[string]int
+	dupKey  []byte
+}
+
+// newPreModel localizes a component into fs.pre: global variable IDs are
+// mapped through lut (filled by the caller) to dense local indices,
+// constraint terms are sorted and merged. Row term storage comes from the
+// fs.preIdx/fs.preA arenas, whose capacity is pinned up front so the row
+// subslices stay valid; presolve reductions only ever shrink rows in place.
+func newPreModel(m *Model, comp component, lut []int32, fs *fastScratch) *preModel {
+	nv := len(comp.vars)
+	nnz := 0
+	for _, ci := range comp.cons {
+		nnz += len(m.cons[ci].Terms)
+	}
+	pm := &fs.pre
+	pm.costs = growF(&fs.preCosts, nv)
+	pm.fixed = growI8(&fs.preFixed, nv)
+	pm.fixedCost = 0
+	pm.infeasible = false
+	pm.nFree = nv
+	for i, v := range comp.vars {
+		pm.costs[i] = m.costs[v]
+		pm.fixed[i] = -1
+	}
+	if cap(fs.preIdx) < nnz {
+		fs.preIdx = make([]int32, 0, nnz)
+	}
+	if cap(fs.preA) < nnz {
+		fs.preA = make([]float64, 0, nnz)
+	}
+	idxA, aA := fs.preIdx[:0], fs.preA[:0]
+	pm.rows = fs.preRows[:0]
+	for _, ci := range comp.cons {
+		c := m.cons[ci]
+		start := len(idxA)
+		for _, t := range c.Terms {
+			idxA = append(idxA, lut[t.Var])
+			aA = append(aA, t.Coef)
+		}
+		r := preRow{idx: idxA[start:], a: aA[start:], op: c.Op, b: c.RHS}
+		sortRowTerms(&r)
+		mergeRowTerms(&r)
+		pm.rows = append(pm.rows, r)
+	}
+	fs.preRows = pm.rows[:0]
+	return pm
+}
+
+func sortRowTerms(r *preRow) {
+	sort.Sort(rowTermSort{r})
+}
+
+type rowTermSort struct{ r *preRow }
+
+func (s rowTermSort) Len() int           { return len(s.r.idx) }
+func (s rowTermSort) Less(i, j int) bool { return s.r.idx[i] < s.r.idx[j] }
+func (s rowTermSort) Swap(i, j int) {
+	s.r.idx[i], s.r.idx[j] = s.r.idx[j], s.r.idx[i]
+	s.r.a[i], s.r.a[j] = s.r.a[j], s.r.a[i]
+}
+
+// mergeRowTerms accumulates duplicate variables and drops zero coefficients.
+// Terms must already be sorted by idx.
+func mergeRowTerms(r *preRow) {
+	out := 0
+	for k := 0; k < len(r.idx); {
+		j := r.idx[k]
+		sum := 0.0
+		for k < len(r.idx) && r.idx[k] == j {
+			sum += r.a[k]
+			k++
+		}
+		if sum != 0 {
+			r.idx[out] = j
+			r.a[out] = sum
+			out++
+		}
+	}
+	r.idx = r.idx[:out]
+	r.a = r.a[:out]
+}
+
+// fix records a variable fixing; double-fixing to a different value marks
+// the model infeasible.
+func (pm *preModel) fix(j int32, v int8) bool {
+	switch pm.fixed[j] {
+	case -1:
+		pm.fixed[j] = v
+		if v == 1 {
+			pm.fixedCost += pm.costs[j]
+		}
+		pm.nFree--
+		return true
+	case v:
+		return false
+	default:
+		pm.infeasible = true
+		return false
+	}
+}
+
+// run iterates the reductions to fixpoint (or infeasibility).
+func (pm *preModel) run() {
+	maxPasses := len(pm.costs) + len(pm.rows) + 2
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		pm.propagate(&changed)
+		if pm.infeasible {
+			return
+		}
+		pm.dualFix(&changed)
+		if pm.infeasible {
+			return
+		}
+		pm.foldDuplicates(&changed)
+		if pm.infeasible || !changed {
+			return
+		}
+	}
+}
+
+// propagate folds fixed variables into row RHS, then applies activity-bound
+// reasoning: infeasibility detection, redundant-row elimination, and
+// forcing fixings (a variable whose "wrong" value would already violate the
+// row on its own gets fixed to the other value).
+func (pm *preModel) propagate(changed *bool) {
+	for ri := range pm.rows {
+		r := &pm.rows[ri]
+		if r.dead {
+			continue
+		}
+		// Fold in fixed variables.
+		out := 0
+		for k := range r.idx {
+			if v := pm.fixed[r.idx[k]]; v >= 0 {
+				r.b -= r.a[k] * float64(v)
+				*changed = true
+				continue
+			}
+			r.idx[out] = r.idx[k]
+			r.a[out] = r.a[k]
+			out++
+		}
+		r.idx = r.idx[:out]
+		r.a = r.a[:out]
+
+		if len(r.idx) == 0 {
+			if !opHolds(0, r.op, r.b) {
+				pm.infeasible = true
+				return
+			}
+			r.dead = true
+			*changed = true
+			continue
+		}
+
+		minAct, maxAct := 0.0, 0.0
+		for _, c := range r.a {
+			if c < 0 {
+				minAct += c
+			} else {
+				maxAct += c
+			}
+		}
+
+		switch r.op {
+		case LE:
+			if minAct > r.b+epsFeas {
+				pm.infeasible = true
+				return
+			}
+			if maxAct <= r.b+epsFeas {
+				r.dead = true
+				*changed = true
+				continue
+			}
+		case GE:
+			if maxAct < r.b-epsFeas {
+				pm.infeasible = true
+				return
+			}
+			if minAct >= r.b-epsFeas {
+				r.dead = true
+				*changed = true
+				continue
+			}
+		case EQ:
+			if minAct > r.b+epsFeas || maxAct < r.b-epsFeas {
+				pm.infeasible = true
+				return
+			}
+			if maxAct-minAct <= epsFeas && math.Abs(minAct-r.b) <= epsFeas {
+				r.dead = true
+				*changed = true
+				continue
+			}
+		}
+
+		// Forcing fixings. A fixing always lands the variable on its
+		// min-activity (LE side) or max-activity (GE side) contribution,
+		// so minAct/maxAct stay valid for the remaining terms.
+		for k := range r.idx {
+			j, c := r.idx[k], r.a[k]
+			if pm.fixed[j] >= 0 {
+				continue
+			}
+			if r.op == LE || r.op == EQ {
+				if c > 0 && minAct+c > r.b+epsFeas {
+					if pm.fix(j, 0) {
+						*changed = true
+					}
+				} else if c < 0 && minAct-c > r.b+epsFeas {
+					if pm.fix(j, 1) {
+						*changed = true
+					}
+				}
+				if pm.infeasible {
+					return
+				}
+			}
+			if r.op == GE || r.op == EQ {
+				if c > 0 && maxAct-c < r.b-epsFeas {
+					if pm.fix(j, 1) {
+						*changed = true
+					}
+				} else if c < 0 && maxAct+c < r.b-epsFeas {
+					if pm.fix(j, 0) {
+						*changed = true
+					}
+				}
+				if pm.infeasible {
+					return
+				}
+			}
+		}
+	}
+}
+
+// dualFix fixes a free variable to the bound its cost prefers when no live
+// constraint can be violated by that move: a variable never pushed upward
+// by feasibility with cost >= 0 goes to 0; never pushed downward with
+// cost <= 0 goes to 1. Ties (zero cost, both directions safe) go to 0.
+func (pm *preModel) dualFix(changed *bool) {
+	nv := len(pm.costs)
+	// downBad[j]: moving j toward 0 can violate some live row;
+	// upBad[j]: moving j toward 1 can.
+	downBad := growBool(&pm.downBad, nv)
+	upBad := growBool(&pm.upBad, nv)
+	for j := 0; j < nv; j++ {
+		downBad[j], upBad[j] = false, false
+	}
+	for ri := range pm.rows {
+		r := &pm.rows[ri]
+		if r.dead {
+			continue
+		}
+		for k := range r.idx {
+			j, c := r.idx[k], r.a[k]
+			switch r.op {
+			case LE:
+				if c > 0 {
+					upBad[j] = true
+				} else {
+					downBad[j] = true
+				}
+			case GE:
+				if c > 0 {
+					downBad[j] = true
+				} else {
+					upBad[j] = true
+				}
+			case EQ:
+				downBad[j] = true
+				upBad[j] = true
+			}
+		}
+	}
+	for j := int32(0); int(j) < nv; j++ {
+		if pm.fixed[j] >= 0 {
+			continue
+		}
+		if pm.costs[j] >= 0 && !downBad[j] {
+			if pm.fix(j, 0) {
+				*changed = true
+			}
+		} else if pm.costs[j] <= 0 && !upBad[j] {
+			if pm.fix(j, 1) {
+				*changed = true
+			}
+		}
+	}
+}
+
+// foldDuplicates merges live rows with identical terms and operator into
+// the single tightest row; contradictory equality duplicates mark the model
+// infeasible.
+func (pm *preModel) foldDuplicates(changed *bool) {
+	if pm.dupSeen == nil {
+		pm.dupSeen = make(map[string]int, len(pm.rows))
+	} else {
+		clear(pm.dupSeen)
+	}
+	seen := pm.dupSeen
+	key := pm.dupKey[:0]
+	defer func() { pm.dupKey = key[:0] }()
+	for ri := range pm.rows {
+		r := &pm.rows[ri]
+		if r.dead {
+			continue
+		}
+		key = key[:0]
+		key = append(key, byte(r.op))
+		for k := range r.idx {
+			key = binary.LittleEndian.AppendUint32(key, uint32(r.idx[k]))
+			key = binary.LittleEndian.AppendUint64(key, math.Float64bits(r.a[k]))
+		}
+		if prev, ok := seen[string(key)]; ok {
+			p := &pm.rows[prev]
+			switch r.op {
+			case LE:
+				if r.b < p.b {
+					p.b = r.b
+				}
+			case GE:
+				if r.b > p.b {
+					p.b = r.b
+				}
+			case EQ:
+				if math.Abs(r.b-p.b) > epsFeas {
+					pm.infeasible = true
+					return
+				}
+			}
+			r.dead = true
+			*changed = true
+			continue
+		}
+		seen[string(key)] = ri
+	}
+}

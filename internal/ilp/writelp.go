@@ -3,6 +3,8 @@ package ilp
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 )
 
 // WriteLP dumps the model in CPLEX LP file format, so models built by the
@@ -41,6 +43,65 @@ func (m *Model) WriteLP(w io.Writer) error {
 	ew.printf("Binaries\n")
 	for i := range m.costs {
 		ew.printf(" %s", m.varName(i))
+	}
+	ew.printf("\nEnd\n")
+	return ew.err
+}
+
+// WriteLPCanonical dumps the model in a fully order-normalised LP form:
+// objective terms and the Binaries section are sorted by variable name,
+// constraint terms are sorted by variable name within each row, and the
+// rows themselves are sorted lexicographically by their rendered text. Two
+// models that differ only in construction order — e.g. the same legalizer
+// window built by two differently-scheduled workers — produce identical
+// bytes, which makes the output diffable in tests.
+func (m *Model) WriteLPCanonical(w io.Writer) error {
+	ew := &lpWriter{w: w}
+	byName := m.SortedVarsByName()
+	ew.printf("Minimize\n obj:")
+	first := true
+	for _, v := range byName {
+		if c := m.costs[v]; c != 0 {
+			ew.term(&first, c, m.varName(int(v)))
+		}
+	}
+	if first {
+		ew.printf(" 0 x0")
+	}
+	ew.printf("\nSubject To\n")
+	lines := make([]string, 0, len(m.cons))
+	for _, con := range m.cons {
+		var sb strings.Builder
+		lw := &lpWriter{w: &sb}
+		terms := append([]Term(nil), con.Terms...)
+		sort.Slice(terms, func(a, b int) bool {
+			na, nb := m.varName(int(terms[a].Var)), m.varName(int(terms[b].Var))
+			if na != nb {
+				return na < nb
+			}
+			return terms[a].Var < terms[b].Var
+		})
+		firstT := true
+		for _, t := range terms {
+			lw.term(&firstT, t.Coef, m.varName(int(t.Var)))
+		}
+		if firstT {
+			lw.printf(" 0 %s", m.varName(0))
+		}
+		lw.printf(" %s %g", con.Op.lpSymbol(), con.RHS)
+		name := con.Name
+		if name == "" {
+			name = "c"
+		}
+		lines = append(lines, fmt.Sprintf(" %s:%s\n", sanitize(name), sb.String()))
+	}
+	sort.Strings(lines)
+	for _, ln := range lines {
+		ew.printf("%s", ln)
+	}
+	ew.printf("Binaries\n")
+	for _, v := range byName {
+		ew.printf(" %s", m.varName(int(v)))
 	}
 	ew.printf("\nEnd\n")
 	return ew.err

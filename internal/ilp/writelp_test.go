@@ -42,6 +42,48 @@ func TestWriteLPEmptyModel(t *testing.T) {
 	}
 }
 
+// TestWriteLPCanonicalOrderIndependent: two models describing the same
+// program but built in different variable/constraint/term orders must
+// render to identical canonical bytes, so tests can diff them.
+func TestWriteLPCanonicalOrderIndependent(t *testing.T) {
+	build := func(order int) *Model {
+		m := NewModel()
+		var a, b VarID
+		if order == 0 {
+			a = m.AddBinary("alpha", -2)
+			b = m.AddBinary("beta", 1)
+		} else {
+			b = m.AddBinary("beta", 1)
+			a = m.AddBinary("alpha", -2)
+		}
+		one := []Term{{a, 1}, {b, 1}}
+		cap1 := []Term{{b, 2}, {a, 1}}
+		if order == 0 {
+			m.AddConstraint("one", one, EQ, 1)
+			m.AddConstraint("cap", cap1, LE, 2)
+		} else {
+			m.AddConstraint("cap", []Term{{a, 1}, {b, 2}}, LE, 2)
+			m.AddConstraint("one", []Term{{b, 1}, {a, 1}}, EQ, 1)
+		}
+		return m
+	}
+	var buf0, buf1 bytes.Buffer
+	if err := build(0).WriteLPCanonical(&buf0); err != nil {
+		t.Fatal(err)
+	}
+	if err := build(1).WriteLPCanonical(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if buf0.String() != buf1.String() {
+		t.Errorf("canonical LP differs across build orders:\n%s\n---\n%s", buf0.String(), buf1.String())
+	}
+	for _, want := range []string{"alpha", "beta", "one:", "cap:", "Binaries"} {
+		if !strings.Contains(buf0.String(), want) {
+			t.Errorf("canonical LP missing %q:\n%s", want, buf0.String())
+		}
+	}
+}
+
 func TestSanitize(t *testing.T) {
 	cases := map[string]string{
 		"plain":  "plain",

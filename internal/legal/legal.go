@@ -15,6 +15,7 @@
 package legal
 
 import (
+	"slices"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,14 @@ type Config struct {
 	// construction of the model), otherwise the candidate slot is dropped.
 	MaxNodes  int
 	TimeLimit time.Duration
+	// DisableSolverFastPath routes Run through the preserved seed
+	// implementation (per-slot CheckLegal, per-call FreeSitesIn, dense-
+	// tableau relocation solves, no result caches) — the differential-
+	// testing escape hatch and the benchreport "before" column.
+	DisableSolverFastPath bool
+	// DisableCache keeps the sparse solver but turns off the window-result
+	// and solve caches; a testing knob.
+	DisableCache bool
 }
 
 // DefaultConfig returns the paper's experimental values.
@@ -72,6 +81,15 @@ type Stats struct {
 	// BudgetDropped counts candidate slots dropped because the budget
 	// expired with no usable incumbent.
 	BudgetDropped int64
+	// WindowHits / WindowMisses count window-signature cache outcomes.
+	WindowHits   int64
+	WindowMisses int64
+	// SolveHits / SolveMisses count relocation-ILP solution cache outcomes.
+	SolveHits   int64
+	SolveMisses int64
+	// ShortcutSolves counts relocation models answered by the unique-
+	// optimum shortcut without invoking the solver.
+	ShortcutSolves int64
 }
 
 // Legalizer generates candidates against a design.
@@ -81,16 +99,48 @@ type Legalizer struct {
 
 	// Degradation counters; atomics because Run is called concurrently
 	// from CR&P's worker pool.
-	incumbentKept atomic.Int64
-	budgetDropped atomic.Int64
+	incumbentKept  atomic.Int64
+	budgetDropped  atomic.Int64
+	shortcutSolves atomic.Int64
+
+	// noShortcut suppresses the unique-optimum relocation shortcut; set
+	// only by the differential test that certifies the shortcut against
+	// the full solver.
+	noShortcut bool
+
+	// Cumulative nanoseconds inside Run and inside relocation ILP solves,
+	// summed across workers; feeds the GCP phase-time breakdown.
+	runNS   atomic.Int64
+	solveNS atomic.Int64
+
+	// medEpoch scopes the per-worker median memos: BeginPass bumps it, and
+	// Scratch memos tagged with an older epoch are cleared on next use.
+	// Zero (no BeginPass ever called) disables cross-Run reuse entirely.
+	medEpoch atomic.Uint64
+
+	// Static fast-path state, built once in New.
+	wmax    int               // widest cell in the design
+	obsFree [][]geom.Interval // per row: obstacle X intervals blocking sites
+
+	solveCache *ilp.SolveCache
+	winCache   *windowCache
 }
 
-// Stats snapshots the degradation counters.
+// Stats snapshots the degradation and cache counters.
 func (l *Legalizer) Stats() Stats {
-	return Stats{
+	s := Stats{
 		IncumbentKept: l.incumbentKept.Load(),
 		BudgetDropped: l.budgetDropped.Load(),
 	}
+	if l.winCache != nil {
+		s.WindowHits = l.winCache.hits.Load()
+		s.WindowMisses = l.winCache.misses.Load()
+	}
+	if l.solveCache != nil {
+		s.SolveHits, s.SolveMisses = l.solveCache.Stats()
+	}
+	s.ShortcutSolves = l.shortcutSolves.Load()
+	return s
 }
 
 // New creates a legalizer. Zero Config fields fall back to defaults.
@@ -111,7 +161,34 @@ func New(d *db.Design, cfg Config) *Legalizer {
 	if cfg.MaxSlotsPerConflict <= 0 {
 		cfg.MaxSlotsPerConflict = def.MaxSlotsPerConflict
 	}
-	return &Legalizer{D: d, Cfg: cfg}
+	l := &Legalizer{D: d, Cfg: cfg}
+	for _, c := range d.Cells {
+		if c.Macro.Width > l.wmax {
+			l.wmax = c.Macro.Width
+		}
+	}
+	// Obstacle X intervals per row, with FreeSitesIn's exact rowRect
+	// overlap test; obstacles are static, so this is computed once.
+	sw, sh := d.Tech.Site.Width, d.Tech.Site.Height
+	l.obsFree = make([][]geom.Interval, len(d.Rows))
+	for ri := range d.Rows {
+		r := &d.Rows[ri]
+		span := r.Span(sw)
+		rowRect := geom.Rect{Lo: geom.Pt(span.Lo, r.Y), Hi: geom.Pt(span.Hi, r.Y+sh)}
+		for _, o := range d.Obs {
+			if o.Rect.Overlaps(rowRect) {
+				l.obsFree[ri] = append(l.obsFree[ri], geom.Iv(o.Rect.Lo.X, o.Rect.Hi.X))
+			}
+		}
+	}
+	// Result caches are only sound on budget-less, fast-path solves: a
+	// budgeted outcome depends on wall-clock and node order and must never
+	// leak across calls (checkpoint/resume bit-identity).
+	if !cfg.DisableSolverFastPath && !cfg.DisableCache && cfg.MaxNodes == 0 && cfg.TimeLimit == 0 {
+		l.solveCache = ilp.NewSolveCache(0)
+		l.winCache = newWindowCache(0)
+	}
+	return l
 }
 
 // window is the site/row extent the legalizer works in.
@@ -160,47 +237,121 @@ func (l *Legalizer) windowAround(c *db.Cell) window {
 // returned candidate differs from the cell's current position. Candidates
 // are sorted by ascending displacement.
 func (l *Legalizer) Run(cellID int32) []Candidate {
+	return l.RunScratch(cellID, nil)
+}
+
+// RunScratch is Run with caller-provided per-worker scratch buffers, the
+// entry point for CR&P's parallel candidate-generation fan-out. scr must
+// not be shared between concurrent callers; nil allocates a fresh one.
+func (l *Legalizer) RunScratch(cellID int32, scr *Scratch) []Candidate {
+	start := time.Now()
+	defer func() { l.runNS.Add(time.Since(start).Nanoseconds()) }()
 	d := l.D
 	c := d.Cells[cellID]
 	if c.Fixed {
 		return nil
 	}
-	w := l.windowAround(c)
-	med := d.NetMedianOf(cellID)
-	sw := d.Tech.Site.Width
-
-	// Enumerate target slots for the critical cell: every site-aligned
-	// position in the window where the cell fits inside the row span,
-	// ranked by the critical cell's own Eq. 11 displacement.
-	type slot struct {
-		pos  geom.Point
-		cost float64
+	if l.Cfg.DisableSolverFastPath {
+		return l.runLegacy(c)
 	}
-	var slots []slot
-	for _, ri := range w.rows {
+	if scr == nil {
+		scr = NewScratch()
+	}
+	scr.reset(l.medEpoch.Load())
+	w := l.windowAround(c)
+	l.buildOccupancy(w, scr)
+	if l.winCache == nil {
+		return l.runWindow(c, w, scr)
+	}
+	key := l.windowKey(c, w, scr)
+	if cands, ok := l.winCache.get(key); ok {
+		return cands
+	}
+	out := l.runWindow(c, w, scr)
+	l.winCache.put(key, out)
+	return out
+}
+
+// runWindow is the cold path: enumerate target slots for the critical cell
+// — every site-aligned position in the window where the cell fits inside
+// the row span — ranked by the critical cell's own Eq. 11 displacement,
+// then try them in order until MaxCandidates succeed.
+func (l *Legalizer) runWindow(c *db.Cell, w window, scr *Scratch) []Candidate {
+	d := l.D
+	med := l.medianOf(scr, c.ID)
+	sw := d.Tech.Site.Width
+	cw, ch := c.Macro.Width, c.Macro.Height
+
+	// Per-window-row slot legality, hoisted out of the site walk. Together
+	// with the span/alignment guarantees of the walk itself this reproduces
+	// d.CheckLegal exactly: rowOK is the die Y containment, the obs
+	// intervals are the obstacles whose rect overlaps the cell's rect on
+	// that row, and the die X containment is checked per slot below.
+	if len(scr.obs) < len(w.rows) {
+		scr.obs = append(scr.obs, make([][]geom.Interval, len(w.rows)-len(scr.obs))...)
+	}
+	scr.rowOK = scr.rowOK[:0]
+	cellEmpty := cw <= 0 || ch <= 0 // empty rects overlap no obstacle
+	for wi, ri := range w.rows {
+		row := &d.Rows[ri]
+		scr.rowOK = append(scr.rowOK, row.Y >= d.Die.Lo.Y && row.Y+ch <= d.Die.Hi.Y)
+		obs := scr.obs[wi][:0]
+		if !cellEmpty {
+			for _, o := range d.Obs {
+				if !o.Rect.Empty() && o.Rect.Lo.Y < row.Y+ch && row.Y < o.Rect.Hi.Y {
+					obs = append(obs, geom.Iv(o.Rect.Lo.X, o.Rect.Hi.X))
+				}
+			}
+		}
+		scr.obs[wi] = obs
+	}
+
+	slots := scr.winSlots[:0]
+	for wi, ri := range w.rows {
+		if !scr.rowOK[wi] {
+			continue
+		}
 		row := &d.Rows[ri]
 		span := row.Span(sw)
 		lo := max(w.x0, span.Lo)
 		hi := min(w.x1, span.Hi)
-		for x := geom.SnapUp(lo-row.X, sw) + row.X; x+c.Macro.Width <= hi; x += sw {
+		for x := geom.SnapUp(lo-row.X, sw) + row.X; x+cw <= hi; x += sw {
 			pos := geom.Pt(x, row.Y)
 			if pos == c.Pos {
 				continue
 			}
-			if d.CheckLegal(c, pos) != nil {
-				continue // obstacle or die clipping
+			if x < d.Die.Lo.X || x+cw > d.Die.Hi.X {
+				continue
 			}
-			slots = append(slots, slot{pos, l.displacement(pos, med)})
+			blocked := false
+			for _, iv := range scr.obs[wi] {
+				if iv.Lo < x+cw && x < iv.Hi {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			slots = append(slots, winSlot{pos, wi, l.displacement(pos, med)})
 		}
 	}
-	sort.Slice(slots, func(a, b int) bool {
-		if slots[a].cost != slots[b].cost {
-			return slots[a].cost < slots[b].cost
+	scr.winSlots = slots[:0]
+	// (cost, Y, X) is a total order over distinct positions, so any sort
+	// algorithm yields the same permutation — the generic SortFunc avoids
+	// sort.Slice's per-call reflection swapper.
+	slices.SortFunc(slots, func(a, b winSlot) int {
+		switch {
+		case a.cost != b.cost:
+			if a.cost < b.cost {
+				return -1
+			}
+			return 1
+		case a.pos.Y != b.pos.Y:
+			return a.pos.Y - b.pos.Y
+		default:
+			return a.pos.X - b.pos.X
 		}
-		if slots[a].pos.Y != slots[b].pos.Y {
-			return slots[a].pos.Y < slots[b].pos.Y
-		}
-		return slots[a].pos.X < slots[b].pos.X
 	})
 
 	var out []Candidate
@@ -208,7 +359,7 @@ func (l *Legalizer) Run(cellID int32) []Candidate {
 		if len(out) >= l.Cfg.MaxCandidates {
 			break
 		}
-		cand, ok := l.trySlot(c, s.pos, w, med)
+		cand, ok := l.trySlot(c, s.pos, s.wi, w, med, scr)
 		if ok {
 			out = append(out, cand)
 		}
@@ -227,23 +378,22 @@ func (l *Legalizer) displacement(pos, med geom.Point) float64 {
 // tryslot checks whether the critical cell can take pos. If cells are in
 // the way, the conflict cells (at most MaxCells-1) are relocated inside the
 // window by the ILP; failure to relocate rejects the slot.
-func (l *Legalizer) trySlot(c *db.Cell, pos geom.Point, w window, med geom.Point) (Candidate, bool) {
+func (l *Legalizer) trySlot(c *db.Cell, pos geom.Point, wi int, w window, med geom.Point, scr *Scratch) (Candidate, bool) {
 	d := l.D
-	row, _ := d.RowAt(pos.Y)
 	span := geom.Iv(pos.X, pos.X+c.Macro.Width)
 
 	// Conflict cells: movable cells overlapping the target span (other
-	// than the critical cell itself).
+	// than the critical cell itself). The occupancy snapshot holds this
+	// row's cells in the same left-to-right order CellsInRowRange returns.
 	var conflicts []*db.Cell
-	for _, id := range d.CellsInRowRange(row.Index, span.Lo, span.Hi) {
-		if id == c.ID {
+	for _, blk := range scr.occ[scr.occOff[wi]:scr.occOff[wi+1]] {
+		if blk.b <= span.Lo || blk.a >= span.Hi || blk.id == c.ID {
 			continue
 		}
-		cc := d.Cells[id]
-		if cc.Fixed {
+		if blk.fixed {
 			return Candidate{}, false // cannot displace fixed cells
 		}
-		conflicts = append(conflicts, cc)
+		conflicts = append(conflicts, d.Cells[blk.id])
 	}
 	if len(conflicts) > l.Cfg.MaxCells-1 {
 		return Candidate{}, false // paper caps the execution at |cells|=3
@@ -256,7 +406,7 @@ func (l *Legalizer) trySlot(c *db.Cell, pos geom.Point, w window, med geom.Point
 		}, true
 	}
 
-	moves, cost, ok := l.relocateConflicts(c, pos, conflicts, w)
+	moves, cost, ok := l.relocateConflicts(c, pos, conflicts, w, scr)
 	if !ok {
 		return Candidate{}, false
 	}
@@ -271,80 +421,217 @@ func (l *Legalizer) trySlot(c *db.Cell, pos geom.Point, w window, med geom.Point
 // cells: each must take exactly one free slot in the window, slots must not
 // overlap each other or the critical cell's target, and the objective is
 // the summed displacement toward each conflict cell's median.
-func (l *Legalizer) relocateConflicts(c *db.Cell, pos geom.Point, conflicts []*db.Cell, w window) (map[int32]geom.Point, float64, bool) {
+func (l *Legalizer) relocateConflicts(c *db.Cell, pos geom.Point, conflicts []*db.Cell, w window, scr *Scratch) (map[int32]geom.Point, float64, bool) {
 	d := l.D
 	sw := d.Tech.Site.Width
-	ignore := map[int32]bool{c.ID: true}
+	ignore := append(scr.ignore[:0], c.ID)
 	for _, cc := range conflicts {
-		ignore[cc.ID] = true
+		ignore = append(ignore, cc.ID)
 	}
-	targetRow, _ := d.RowAt(pos.Y)
+	scr.ignore = ignore[:0]
 	targetSpan := geom.Iv(pos.X, pos.X+c.Macro.Width)
 
-	m := ilp.NewModel()
-	type varPos struct {
-		cell int32
-		pos  geom.Point
-	}
-	var vars []varPos
-	// siteUse[(row,siteX)] collects the variables covering each site.
-	siteUse := map[[2]int][]ilp.Term{}
-
+	// Phase 1: each conflict cell's feasible slot list, sorted by the
+	// (cost, Y, X) total order — memoised across the target slots of this
+	// Run (conflictSlots). Slots overlapping the critical cell's target are
+	// filtered out here, and only the cheapest few kept: the ILP never
+	// benefits from far-away relocations (Eq. 11 minimises displacement),
+	// and the cap keeps the model tiny. Filtering the sorted list is the
+	// same as sorting the filtered set (total order), so the memo never
+	// changes the built model. Lists live concatenated in scr.conSlots with
+	// offs[k] marking conflict k's start.
+	maxSlots := l.Cfg.MaxSlotsPerConflict
+	filt := scr.conSlots[:0]
+	offs := scr.filtOff[:0]
 	for _, cc := range conflicts {
-		med := d.NetMedianOf(cc.ID)
-		// Collect the feasible slots, keep only the cheapest few: the ILP
-		// never benefits from far-away relocations (Eq. 11 minimises
-		// displacement), and the cap keeps the model tiny.
-		type slotCost struct {
-			p    geom.Point
-			cost float64
-		}
-		var slots []slotCost
-		for _, ri := range w.rows {
-			row := &d.Rows[ri]
-			for _, x := range d.FreeSitesIn(ri, w.x0, w.x1, cc.Macro.Width, ignore) {
-				p := geom.Pt(x, row.Y)
-				// Slots overlapping the critical cell's target are gone.
-				if row.Index == targetRow.Index && geom.Iv(x, x+cc.Macro.Width).Overlaps(targetSpan) {
-					continue
-				}
-				slots = append(slots, slotCost{p, l.displacement(p, med)})
+		med := l.medianOf(scr, cc.ID)
+		full := l.conflictSlots(cc, conflicts, med, w, ignore, scr)
+		n0 := len(filt)
+		offs = append(offs, int32(n0))
+		for _, s := range full {
+			// Same row as the target iff same Y; rows sit at distinct Y.
+			if s.p.Y == pos.Y && geom.Iv(s.p.X, s.p.X+cc.Macro.Width).Overlaps(targetSpan) {
+				continue
+			}
+			filt = append(filt, s)
+			if maxSlots > 0 && len(filt)-n0 == maxSlots {
+				break
 			}
 		}
-		if len(slots) == 0 {
+		if len(filt) == n0 {
+			scr.conSlots, scr.filtOff = filt[:0], offs[:0]
 			return nil, 0, false // nowhere to put this conflict cell
 		}
-		sort.Slice(slots, func(a, b int) bool {
-			if slots[a].cost != slots[b].cost {
-				return slots[a].cost < slots[b].cost
+	}
+	offs = append(offs, int32(len(filt)))
+	scr.conSlots, scr.filtOff = filt[:0], offs[:0]
+
+	// Phase 2: unique-optimum shortcut. When every conflict cell's cheapest
+	// slot is strictly cheaper than its second-cheapest, the sum of the
+	// minima is a lower bound on every assignment, and any other assignment
+	// pays strictly more in at least one cell — so if the minima are
+	// pairwise non-overlapping (site-caps hold; one-pos holds trivially)
+	// they are the unique optimum and any correct solver must return
+	// exactly them, with exactly this objective (component objectives are
+	// accumulated in conflict order, matching the sum below). Certified
+	// bit-exact against the full solver by
+	// TestRelocationShortcutBitIdentical; budgeted configs skip the
+	// shortcut because their degradation outcomes depend on node accounting
+	// the shortcut does not perform.
+	if !l.noShortcut && !l.Cfg.DisableSolverFastPath &&
+		l.Cfg.MaxNodes == 0 && l.Cfg.TimeLimit == 0 {
+		unique := true
+		for k := range conflicts {
+			s := filt[offs[k]:offs[k+1]]
+			if len(s) > 1 && s[0].cost >= s[1].cost {
+				unique = false
+				break
 			}
-			if slots[a].p.Y != slots[b].p.Y {
-				return slots[a].p.Y < slots[b].p.Y
-			}
-			return slots[a].p.X < slots[b].p.X
-		})
-		if cap := l.Cfg.MaxSlotsPerConflict; cap > 0 && len(slots) > cap {
-			slots = slots[:cap]
 		}
-		var terms []ilp.Term
+		if unique {
+			feasible := true
+			for a := 0; a < len(conflicts) && feasible; a++ {
+				sa, wa := filt[offs[a]], conflicts[a].Macro.Width
+				for b := a + 1; b < len(conflicts); b++ {
+					sb, wb := filt[offs[b]], conflicts[b].Macro.Width
+					if sa.p.Y == sb.p.Y && sa.p.X < sb.p.X+wb && sb.p.X < sa.p.X+wa {
+						feasible = false
+						break
+					}
+				}
+			}
+			if feasible {
+				l.shortcutSolves.Add(1)
+				moves := make(map[int32]geom.Point, len(conflicts))
+				cost := 0.0
+				for k, cc := range conflicts {
+					s := filt[offs[k]]
+					moves[cc.ID] = s.p
+					cost += s.cost
+				}
+				return moves, cost, true
+			}
+		}
+	}
+
+	// Phase 3: build the Eq. 11 model from the collected lists.
+	if scr.model == nil {
+		scr.model = ilp.NewModel()
+	}
+	m := scr.model
+	m.Reset()
+	vars := scr.vars[:0]
+	for k, cc := range conflicts {
+		slots := filt[offs[k]:offs[k+1]]
+		terms := make([]ilp.Term, 0, len(slots))
 		for _, s := range slots {
 			v := m.AddBinary("", s.cost)
-			vars = append(vars, varPos{cc.ID, s.p})
+			vars = append(vars, varPos{cc.ID, int32(s.wi), s.p})
 			terms = append(terms, ilp.Term{Var: v, Coef: 1})
-			row, _ := d.RowAt(s.p.Y)
-			for x := s.p.X; x < s.p.X+cc.Macro.Width; x += sw {
-				key := [2]int{int(row.Index), x}
-				siteUse[key] = append(siteUse[key], ilp.Term{Var: v, Coef: 1})
-			}
 		}
 		m.AddConstraint("one-pos", terms, ilp.EQ, 1)
 	}
-	for _, terms := range siteUse {
-		if len(terms) > 1 {
-			m.AddConstraint("site-cap", terms, ilp.LE, 1)
+	scr.vars = vars[:0]
+
+	// Site-capacity rows over a dense per-window site grid, emitted in
+	// ascending (window row, site) order — exactly the order the former
+	// map-and-sort bookkeeping produced by sorting its (row, x) keys, and
+	// with terms in variable-creation order exactly as the map appends were,
+	// so the built model is byte-identical. Window rows are ascending row
+	// indices, and every slot footprint lies inside [lo, hi) of its row (the
+	// freeSitesFast walk bounds), so each row's columns are a contiguous
+	// block. Geometry pass: per-row first column and column offsets.
+	kLo := scr.siteKLo[:0]
+	colOff := scr.siteOff[:0]
+	totalCols := 0
+	for _, ri := range w.rows {
+		row := &d.Rows[ri]
+		span := row.Span(sw)
+		lo := geom.SnapUp(max(w.x0, span.Lo)-row.X, sw) + row.X
+		hi := min(w.x1, span.Hi)
+		colOff = append(colOff, int32(totalCols))
+		if hi-sw < lo {
+			kLo = append(kLo, 0) // row contributes no sites
+			continue
+		}
+		k0 := int32((lo - row.X) / sw)
+		k1 := int32((hi - sw - row.X) / sw)
+		kLo = append(kLo, k0)
+		totalCols += int(k1-k0) + 1
+	}
+	colOff = append(colOff, int32(totalCols))
+	scr.siteKLo, scr.siteOff = kLo, colOff
+
+	// Counting pass over every variable's footprint sites.
+	counts := scr.siteCol
+	if cap(counts) < totalCols {
+		counts = make([]int32, totalCols)
+	} else {
+		counts = counts[:totalCols]
+		for i := range counts {
+			counts[i] = 0
 		}
 	}
-	sol := m.Solve(ilp.Options{MaxNodes: l.Cfg.MaxNodes, TimeLimit: l.Cfg.TimeLimit})
+	scr.siteCol = counts
+	nTerms := 0
+	for _, vp := range vars {
+		width := d.Cells[vp.cell].Macro.Width
+		row := &d.Rows[w.rows[vp.wi]]
+		col := colOff[vp.wi] + int32((vp.pos.X-row.X)/sw) - kLo[vp.wi]
+		for x := vp.pos.X; x < vp.pos.X+width; x += sw {
+			counts[col]++
+			col++
+			nTerms++
+		}
+	}
+	// Exclusive prefix sum turns counts into per-column fill cursors.
+	sum := int32(0)
+	for i := range counts {
+		n := counts[i]
+		counts[i] = sum
+		sum += n
+	}
+	// Fill pass: terms land grouped by column, in variable order within each
+	// column. The arena is sized up front so the subslices handed to
+	// AddConstraint stay valid for the lifetime of the model build.
+	siteTerms := scr.siteTerms
+	if cap(siteTerms) < nTerms {
+		siteTerms = make([]ilp.Term, nTerms)
+	} else {
+		siteTerms = siteTerms[:nTerms]
+	}
+	scr.siteTerms = siteTerms
+	for i, vp := range vars {
+		width := d.Cells[vp.cell].Macro.Width
+		row := &d.Rows[w.rows[vp.wi]]
+		col := colOff[vp.wi] + int32((vp.pos.X-row.X)/sw) - kLo[vp.wi]
+		for x := vp.pos.X; x < vp.pos.X+width; x += sw {
+			siteTerms[counts[col]] = ilp.Term{Var: ilp.VarID(i), Coef: 1}
+			counts[col]++
+			col++
+		}
+	}
+	// After the fill, counts[c] is the end offset of column c (and hence the
+	// start offset of column c+1). Constraint order steers the solver's
+	// tie-breaking between equal-cost optima, so the ascending emission here
+	// is load-bearing for determinism.
+	for c := 0; c < totalCols; c++ {
+		start := int32(0)
+		if c > 0 {
+			start = counts[c-1]
+		}
+		if counts[c]-start > 1 {
+			m.AddConstraint("site-cap", siteTerms[start:counts[c]], ilp.LE, 1)
+		}
+	}
+	t0 := time.Now()
+	sol := m.Solve(ilp.Options{
+		MaxNodes:              l.Cfg.MaxNodes,
+		TimeLimit:             l.Cfg.TimeLimit,
+		DisableSolverFastPath: l.Cfg.DisableSolverFastPath,
+		Cache:                 l.solveCache,
+	})
+	l.solveNS.Add(time.Since(t0).Nanoseconds())
 	switch {
 	case sol.Status == ilp.Optimal:
 		// Certified optimum; fall through to extraction.
