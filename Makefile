@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race race-solver lint-state bench-smoke bench-json fuzz-smoke chaos crash-chaos
+.PHONY: check vet build test race race-solver race-shard lint-state bench-smoke bench-json fuzz-smoke chaos crash-chaos
 
 ## check: the full pre-merge gate — vet, build, state lint, race-enabled
 ## tests, bench smoke, chaos suite, crash-chaos suite, fuzz smoke.
-check: vet build lint-state race-solver race bench-smoke chaos crash-chaos fuzz-smoke
+check: vet build lint-state race-solver race-shard race bench-smoke chaos crash-chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,15 @@ race:
 ## only lock-coordinated hot paths, so race them first and with -count=1.
 race-solver:
 	$(GO) test -race -count=1 ./internal/ilp/... ./internal/legal/... ./internal/crp/...
+
+## race-shard: race gate over the region-sharded iteration loop — the
+## speculative region pipelines, the worker-overlay fan-out, and the
+## journal-segmented merge are the concurrency added by the sharding PR
+## (see DESIGN.md, "Sharding architecture").
+race-shard:
+	$(GO) test -race -count=1 ./internal/shard/...
+	$(GO) test -race -count=1 -run 'TestSharded' ./internal/crp
+	$(GO) test -race -count=1 -run 'TestChaosShard|TestResumeBitIdentityEveryBoundarySharded' ./internal/flow
 
 ## bench-smoke: one-shot Fig. 3 breakdown — catches benchmark-harness rot
 ## without paying for a real measurement run.
@@ -43,8 +52,8 @@ lint-state:
 
 ## bench-json: regenerate the BENCH_*.json performance snapshot
 ## (see EXPERIMENTS.md, "Performance architecture"). Override the target
-## with BENCH=..., e.g. `make bench-json BENCH=BENCH_6.json`.
-BENCH ?= BENCH_6.json
+## with BENCH=..., e.g. `make bench-json BENCH=BENCH_7.json`.
+BENCH ?= BENCH_7.json
 bench-json:
 	$(GO) run ./cmd/benchreport -o $(BENCH)
 
@@ -74,4 +83,5 @@ fuzz-smoke:
 	$(GO) test ./internal/lefdef -fuzz 'FuzzDEFRoundTrip$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
 	$(GO) test ./internal/checkpoint -fuzz 'FuzzCheckpointDecode$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
 	$(GO) test ./internal/view -fuzz 'FuzzOverlayCommit$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
+	$(GO) test ./internal/view -fuzz 'FuzzShardMerge$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
 	$(GO) test ./internal/ilp -fuzz 'FuzzILPSolve$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x

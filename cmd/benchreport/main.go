@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -41,6 +42,7 @@ import (
 	"github.com/crp-eda/crp/internal/grid"
 	"github.com/crp-eda/crp/internal/ispd"
 	"github.com/crp-eda/crp/internal/route/global"
+	"github.com/crp-eda/crp/internal/shard"
 )
 
 // phaseSeconds is the Fig. 3 breakdown of one flow run.
@@ -93,6 +95,53 @@ type report struct {
 	// dense-tableau solver against the fast path (presolve, sparse simplex,
 	// window/solve caches) on the same binary and circuit.
 	GCPBreakdown gcpComparison `json:"gcp_breakdown"`
+	// ShardBreakdown sweeps the region-sharded iteration loop over worker
+	// counts on a hotspot-rich circuit, reporting measured single-host wall
+	// clock next to the LPT-modeled makespan (see EXPERIMENTS.md for why the
+	// two are separated on a 1-CPU runner).
+	ShardBreakdown shardBreakdown `json:"shard_breakdown"`
+}
+
+// shardIterStats is the per-iteration partition telemetry of the sharded
+// reference run (workers = 4).
+type shardIterStats struct {
+	Iter           int   `json:"iter"`
+	Regions        int   `json:"regions"`
+	RegionCells    []int `json:"region_cells"`
+	SerialRedo     int   `json:"serial_redo"`
+	MergeConflicts int   `json:"merge_conflicts"`
+	MazeReroutes   int   `json:"maze_reroutes"`
+}
+
+// shardRow is one worker count of the sweep. MeasuredWallS is the sharded
+// iteration loop's elapsed time on this host; ModeledWallS replaces the
+// measured region section (which a 1-CPU host serialises) with the
+// LPT-scheduled makespan of the recorded region durations at this worker
+// count. ModeledSpeedup is the serial loop's measured wall over ModeledWallS.
+type shardRow struct {
+	Workers        int     `json:"workers"`
+	MeasuredWallS  float64 `json:"measured_wall_s"`
+	ModeledWallS   float64 `json:"modeled_wall_s"`
+	ModeledSpeedup float64 `json:"modeled_speedup"`
+	// RegionSpeedup isolates the parallelised section: total region work
+	// over its LPT makespan at this worker count, excluding the serial
+	// label/merge/update-database residue that Amdahl-bounds ModeledSpeedup.
+	RegionSpeedup float64 `json:"region_speedup"`
+	BitIdentical  bool    `json:"bit_identical_to_serial"`
+}
+
+type shardBreakdown struct {
+	Circuit string `json:"circuit"`
+	Cells   int    `json:"cells"`
+	Nets    int    `json:"nets"`
+	K       int    `json:"k"`
+	// HostCPUs is runtime.NumCPU() — the reader's cue for how much of the
+	// sweep is measured parallelism versus model.
+	HostCPUs     int              `json:"host_cpus"`
+	SerialWallS  float64          `json:"serial_wall_s"`
+	Iterations   []shardIterStats `json:"iterations"`
+	Sweep        []shardRow       `json:"sweep"`
+	IdealSpeedup float64          `json:"ideal_speedup"`
 }
 
 // gcpSeconds is the GCP-stage split of one flow run. The wall column is
@@ -210,6 +259,151 @@ func microECC() (microResult, error) {
 	}, nil
 }
 
+// shardSpec is the sweep circuit: hotspot-rich so the sparse critical set
+// scatters into many compact windows and the partition yields a healthy
+// region count (dense critical sets percolate into one region — see
+// DESIGN.md, "Sharding architecture").
+func shardSpec() ispd.Spec {
+	return ispd.Spec{
+		Name: "crp_shard_bench", Node: "n32", Cells: 2000, Nets: 2000,
+		Utilisation: 0.892, Hotspots: 48, IOFraction: 0.03, Seed: 1006,
+	}
+}
+
+// shardRun is one measured CR&P iteration loop (no GR/DR — the sweep times
+// exactly the loop the sharding parallelises).
+type shardRun struct {
+	wall time.Duration
+	res  *crp.Result
+	pos  []geom.Point
+}
+
+func runShard(spec ispd.Spec, k, workers, regions int) (shardRun, error) {
+	d, err := ispd.Generate(spec)
+	if err != nil {
+		return shardRun{}, err
+	}
+	g := grid.New(d, grid.DefaultParams())
+	r := global.New(d, g, global.DefaultConfig())
+	r.RouteAll()
+	cfg := crp.DefaultConfig()
+	cfg.Iterations = k
+	cfg.Workers = workers
+	cfg.ShardRegions = regions
+	cfg.Gamma = 0.013
+	cfg.Legal.NSites = 8
+	cfg.Legal.NRows = 3
+	e := crp.New(d, g, r, cfg)
+	t0 := time.Now()
+	res := e.Run(context.Background())
+	run := shardRun{wall: time.Since(t0), res: res}
+	for _, c := range d.Cells {
+		run.pos = append(run.pos, c.Pos)
+	}
+	return run, nil
+}
+
+// sameDecisions is the sweep's bit-identity referee: final placements plus
+// the decision-revealing iteration statistics must match the serial run.
+func sameDecisions(a, b shardRun) bool {
+	if len(a.pos) != len(b.pos) || len(a.res.Iterations) != len(b.res.Iterations) {
+		return false
+	}
+	for i := range a.pos {
+		if a.pos[i] != b.pos[i] {
+			return false
+		}
+	}
+	for i := range a.res.Iterations {
+		x, y := a.res.Iterations[i], b.res.Iterations[i]
+		if x.MovedCells != y.MovedCells || x.EstAfter != y.EstAfter ||
+			x.SolverNodes != y.SolverNodes || x.SolverStatus != y.SolverStatus {
+			return false
+		}
+	}
+	return true
+}
+
+// measureShardSweep fills the shard_breakdown section: a serial reference
+// loop, then the sharded loop at each worker count. The modeled wall clock
+// replaces the measured region section (serialised on few-CPU hosts) with
+// the LPT makespan of the recorded per-region durations.
+func measureShardSweep(k int) (shardBreakdown, error) {
+	spec := shardSpec()
+	sb := shardBreakdown{
+		Circuit: spec.Name, Cells: spec.Cells, Nets: spec.Nets,
+		K: k, HostCPUs: runtime.NumCPU(),
+	}
+	serial, err := runShard(spec, k, 4, 0)
+	if err != nil {
+		return sb, err
+	}
+	sb.SerialWallS = serial.wall.Seconds()
+
+	var sumAll, maxAll time.Duration
+	for _, w := range []int{1, 2, 4, 8} {
+		sr, err := runShard(spec, k, w, 32)
+		if err != nil {
+			return sb, err
+		}
+		modeled := sr.wall
+		var regionWork, regionSpan time.Duration
+		for _, it := range sr.res.Iterations {
+			if it.Shard == nil {
+				continue
+			}
+			var sum time.Duration
+			for _, d := range it.Shard.RegionDurations {
+				sum += d
+			}
+			span := shard.Makespan(it.Shard.RegionDurations, w)
+			modeled += span - sum
+			regionWork += sum
+			regionSpan += span
+		}
+		row := shardRow{
+			Workers:       w,
+			MeasuredWallS: sr.wall.Seconds(),
+			ModeledWallS:  modeled.Seconds(),
+			BitIdentical:  sameDecisions(serial, sr),
+		}
+		if modeled > 0 {
+			row.ModeledSpeedup = serial.wall.Seconds() / modeled.Seconds()
+		}
+		if regionSpan > 0 {
+			row.RegionSpeedup = float64(regionWork) / float64(regionSpan)
+		}
+		sb.Sweep = append(sb.Sweep, row)
+		if w == 4 {
+			for i, it := range sr.res.Iterations {
+				if it.Shard == nil {
+					continue
+				}
+				sb.Iterations = append(sb.Iterations, shardIterStats{
+					Iter: i + 1, Regions: it.Shard.Regions,
+					RegionCells: it.Shard.RegionCells, SerialRedo: it.Shard.SerialRedo,
+					MergeConflicts: it.Shard.MergeConflicts, MazeReroutes: it.Shard.MazeReroutes,
+				})
+				var sum, max time.Duration
+				for _, d := range it.Shard.RegionDurations {
+					sum += d
+					if d > max {
+						max = d
+					}
+				}
+				sumAll += sum
+				maxAll += max
+			}
+		}
+	}
+	// IdealSpeedup bounds the region section's parallelism independent of
+	// worker count: total region work over the per-iteration critical paths.
+	if maxAll > 0 {
+		sb.IdealSpeedup = float64(sumAll) / float64(maxAll)
+	}
+	return sb, nil
+}
+
 // loadPrev reads a previous BENCH_*.json snapshot for the before columns.
 func loadPrev(path string) (report, error) {
 	var prev report
@@ -225,10 +419,11 @@ func loadPrev(path string) (report, error) {
 
 func main() {
 	var (
-		out   = flag.String("o", "BENCH_6.json", "output path")
-		scale = flag.Float64("scale", 0.004, "suite scale (matches CRP_BENCH_SCALE)")
-		k     = flag.Int("k", 10, "CR&P iterations for the flow runs")
-		prev  = flag.String("prev", "BENCH_5.json", "previous snapshot for the before/continuity columns (\"\" = skip)")
+		out    = flag.String("o", "BENCH_7.json", "output path")
+		scale  = flag.Float64("scale", 0.004, "suite scale (matches CRP_BENCH_SCALE)")
+		k      = flag.Int("k", 10, "CR&P iterations for the flow runs")
+		shardK = flag.Int("shard-k", 10, "CR&P iterations for the shard_breakdown sweep")
+		prev   = flag.String("prev", "BENCH_6.json", "previous snapshot for the before/continuity columns (\"\" = skip)")
 		// Pre-refactor BenchmarkECCEstimateCosts record (scratch-buffer
 		// implementation, same fixture), measured immediately before the
 		// DesignView refactor landed.
@@ -283,6 +478,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
+	if rep.ShardBreakdown, err = measureShardSweep(*shardK); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
 	rep.Fig3Breakdown.After = rep.CacheOn
 	if *prev != "" {
 		if p, err := loadPrev(*prev); err != nil {
@@ -317,4 +517,11 @@ func main() {
 			ecc.Before.NsPerOp, ecc.After.NsPerOp,
 			(ecc.After.NsPerOp-ecc.Before.NsPerOp)/ecc.Before.NsPerOp*100)
 	}
+	sbr := rep.ShardBreakdown
+	fmt.Printf("shard sweep (%s, %d CPUs, ideal %.2fx): serial %0.3fs", sbr.Circuit, sbr.HostCPUs, sbr.IdealSpeedup, sbr.SerialWallS)
+	for _, row := range sbr.Sweep {
+		fmt.Printf("; w=%d modeled %0.3fs (loop %.2fx, regions %.2fx, identical=%v)",
+			row.Workers, row.ModeledWallS, row.ModeledSpeedup, row.RegionSpeedup, row.BitIdentical)
+	}
+	fmt.Println()
 }

@@ -59,6 +59,8 @@ func main() {
 		ckptDir     = flag.String("checkpoint-dir", "", "journal crash-safe checkpoints into this directory")
 		ckptKeep    = flag.Int("checkpoint-keep", 0, "checkpoints to retain (0 = default 2)")
 		resume      = flag.Bool("resume", false, "continue from the newest checkpoint in -checkpoint-dir (fresh start if none)")
+		shardRegs   = flag.Int("shard-regions", 0, "target region count for sharded CR&P iterations (0 = serial)")
+		shardHalo   = flag.Int("shard-halo", 0, "GCell halo inflating region merge footprints (0 = default)")
 	)
 	flag.Parse()
 	if *lefPath == "" || *defPath == "" {
@@ -96,6 +98,8 @@ func main() {
 	cfg := flow.DefaultConfig()
 	cfg.CRP.Gamma = *gamma
 	cfg.CRP.Seed = *seed
+	cfg.CRP.ShardRegions = *shardRegs
+	cfg.CRP.ShardHalo = *shardHalo
 	cfg.Budgets.Flow = *timeout
 	cfg.Budgets.CRPIteration = *iterTimeout
 	ctx := context.Background()

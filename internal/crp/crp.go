@@ -70,6 +70,12 @@ type Hooks struct {
 	// PostUD fires after the update-database phase, before the iteration's
 	// invariant check — the seam the chaos suite uses to prove rollback.
 	PostUD func(iter int)
+	// ShardRegion fires at the start of region pipeline `region` (ordinal
+	// within the iteration's partition) of a sharded iteration, inside the
+	// region's worker goroutine. A panic here quarantines the region, which
+	// the engine then redoes on the serial path — the seam the sharded
+	// chaos tests use for worker-panic and budget-expiry faults.
+	ShardRegion func(iter, region int)
 	// SolveSelection replaces the selection-ILP solve (Eq. 12) entirely;
 	// tests use it to force LimitReached/Infeasible outcomes.
 	SolveSelection func(m *ilp.Model, opt ilp.Options) ilp.Solution
@@ -126,6 +132,24 @@ type Config struct {
 	// legacy dense-tableau solver and disables the legalizer's result
 	// caches; the differential-testing escape hatch.
 	DisableSolverFastPath bool
+	// ShardRegions enables the region-sharded iteration mode when > 0: the
+	// critical set is partitioned into up to roughly this many spatial
+	// regions whose legalizer windows cannot interact, each region's
+	// generate→estimate→select pipeline runs concurrently on the worker
+	// pool, and the results are merged speculatively through the iteration
+	// transaction with journal-based conflict detection (serial replay on
+	// conflict). 0 (the default) keeps the seed serial iteration verbatim.
+	// Selections are bit-identical to the serial mode by construction; see
+	// DESIGN.md, "Sharding architecture".
+	ShardRegions int
+	// ShardHalo inflates every region's interaction rectangle and merge
+	// footprint by this many GCells (<=0: default 2), so routing-demand
+	// interactions just outside a window or net bounding box are captured.
+	ShardHalo int
+	// ShardRegionBudget caps each region pipeline's wall clock (0: none).
+	// A region that exceeds it is discarded and redone on the serial path,
+	// recorded as a "shard-region-budget" degradation.
+	ShardRegionBudget time.Duration
 	// Hooks are fault-injection/testing seams; zero value = none.
 	Hooks Hooks
 }
@@ -185,6 +209,43 @@ type IterStats struct {
 	DeadlineHit    bool // the iteration deadline expired mid-iteration
 	// Degradations details every robustness event of this iteration.
 	Degradations []Degradation
+
+	// Shard reports the region-sharded pipeline's behaviour; nil unless the
+	// iteration ran in sharded mode (Config.ShardRegions > 0). Differential
+	// referees zero it (alongside SolverNodes) before comparing against a
+	// serial run — everything else in IterStats must match exactly.
+	Shard *ShardIterStats
+}
+
+// ShardIterStats records what one sharded iteration's region pipelines and
+// speculative merge did.
+type ShardIterStats struct {
+	// Regions is the number of regions the partition produced.
+	Regions int
+	// RegionCells and RegionDurations hold, per region ordinal, the member
+	// count and the region pipeline's wall clock (generate + estimate +
+	// select). cmd/benchreport feeds the durations to shard.Makespan to
+	// model the parallel wall clock at a given worker count.
+	RegionCells     []int
+	RegionDurations []time.Duration
+	// ConcurrentPeak is the maximum number of region pipelines observed in
+	// flight at once (>= 2 proves the concurrency was not vacuous).
+	ConcurrentPeak int
+	// SerialRedo counts regions whose pipeline was discarded (panic or
+	// budget expiry) and redone on the serial path.
+	SerialRedo int
+	// SelectFallback is set when the per-region selections could not be
+	// merged (a region solve was not optimal, or a region was redone) and
+	// the global serial selection ILP ran instead.
+	SelectFallback bool
+	// MergeConflicts counts cross-region demand-edge conflicts the journal
+	// intersection test detected; MazeReroutes counts reroutes that fell
+	// back to the maze router (whose unbounded read set always forces the
+	// serial merge). MergeSerialized is set when the update-database phase
+	// ran (or re-ran) in the exact serial order instead of region-major.
+	MergeConflicts  int
+	MazeReroutes    int
+	MergeSerialized bool
 }
 
 // Result aggregates a full CR&P run.
@@ -473,26 +534,38 @@ func (c *candidate) movedCells() []int32 {
 func (e *Engine) generateCandidates(ctx context.Context, critical []int32) ([][]candidate, []quarantined) {
 	out := make([][]candidate, len(critical))
 	quar := e.parallelFor(ctx, len(critical), func(w, i int) {
-		if h := e.Cfg.Hooks.GCP; h != nil {
-			h(e.iter, i)
-		}
-		cid := critical[i]
-		cur := e.V.Pos(cid)
-		cands := []candidate{{cell: cid, pos: cur, conflicts: map[int32]geom.Point{}, isCurrent: true}}
-		for _, lc := range e.L.RunScratch(cid, e.scratch[w]) {
-			cands = append(cands, candidate{cell: cid, pos: lc.Pos, conflicts: lc.Conflicts})
-		}
-		out[i] = cands
+		out[i] = e.generateOne(w, i, critical[i])
 	})
 	// Cells skipped by cancellation or quarantined by a panic keep exactly
 	// their current position.
 	for i := range out {
 		if out[i] == nil {
-			cid := critical[i]
-			out[i] = []candidate{{cell: cid, pos: e.V.Pos(cid), conflicts: map[int32]geom.Point{}, isCurrent: true}}
+			out[i] = e.stayPutOnly(critical[i])
 		}
 	}
 	return out, quar
+}
+
+// generateOne builds critical cell i's candidate list — the current
+// position plus the legalizer's output — on worker w's scratch. It is the
+// per-item body of the generation fan-out, shared verbatim by the serial
+// mode's parallelFor and the sharded mode's region pipelines.
+func (e *Engine) generateOne(w, i int, cid int32) []candidate {
+	if h := e.Cfg.Hooks.GCP; h != nil {
+		h(e.iter, i)
+	}
+	cur := e.V.Pos(cid)
+	cands := []candidate{{cell: cid, pos: cur, conflicts: map[int32]geom.Point{}, isCurrent: true}}
+	for _, lc := range e.L.RunScratch(cid, e.scratch[w]) {
+		cands = append(cands, candidate{cell: cid, pos: lc.Pos, conflicts: lc.Conflicts})
+	}
+	return cands
+}
+
+// stayPutOnly is the quarantine fallback candidate list: exactly the
+// cell's current position.
+func (e *Engine) stayPutOnly(cid int32) []candidate {
+	return []candidate{{cell: cid, pos: e.V.Pos(cid), conflicts: map[int32]geom.Point{}, isCurrent: true}}
 }
 
 // estimateCosts is Algorithm 3: each candidate's cost is the summed
@@ -511,28 +584,39 @@ func (e *Engine) estimateCosts(ctx context.Context, cands [][]candidate) []quara
 	}
 	done := make([]bool, len(cands))
 	quar := e.parallelFor(ctx, len(cands), func(w, i int) {
-		if h := e.Cfg.Hooks.ECC; h != nil {
-			h(e.iter, i)
-		}
-		ov := e.ovs[w]
-		for j := range cands[i] {
-			cands[i][j].cost = e.estimateCandidate(&cands[i][j], ov)
-		}
+		e.estimateGroup(e.ovs[w], i, cands[i])
 		done[i] = true
 	})
 	for i := range cands {
-		if done[i] {
-			continue
-		}
-		for j := range cands[i] {
-			if cands[i][j].isCurrent {
-				cands[i][j].cost = 0
-			} else {
-				cands[i][j].cost = math.Inf(1)
-			}
+		if !done[i] {
+			resetGroupCosts(cands[i])
 		}
 	}
 	return quar
+}
+
+// estimateGroup prices every candidate of group i on overlay ov — the
+// per-item body of the estimation fan-out, shared verbatim by the serial
+// mode's parallelFor and the sharded mode's region pipelines.
+func (e *Engine) estimateGroup(ov *view.Overlay, i int, group []candidate) {
+	if h := e.Cfg.Hooks.ECC; h != nil {
+		h(e.iter, i)
+	}
+	for j := range group {
+		group[j].cost = e.estimateCandidate(&group[j], ov)
+	}
+}
+
+// resetGroupCosts restores a group abandoned mid-pricing to "stay put is
+// free, every move is infinitely expensive".
+func resetGroupCosts(group []candidate) {
+	for j := range group {
+		if group[j].isCurrent {
+			group[j].cost = 0
+		} else {
+			group[j].cost = math.Inf(1)
+		}
+	}
 }
 
 func (e *Engine) estimateCandidate(c *candidate, ov *view.Overlay) float64 {

@@ -24,6 +24,9 @@ import (
 // design. Cfg.IterTimeout (and any deadline already on ctx) bounds the
 // iteration; expiry stops it before the next uncommitted phase.
 func (e *Engine) Iterate(ctx context.Context) IterStats {
+	if e.Cfg.ShardRegions > 0 {
+		return e.iterateSharded(ctx)
+	}
 	e.iter++
 	// The demand version at iteration entry: the read phases (label, GCP,
 	// ECC, selection) must not mutate demand, which the transaction's epoch
@@ -174,28 +177,22 @@ func (e *Engine) checkInvariants() error {
 	return nil
 }
 
-// selectCandidates builds and solves the Eq. 12 selection ILP: one
-// candidate per critical cell; candidates of different cells that move the
-// same cell or whose moved footprints overlap exclude each other.
-//
-// Exact pruning shrinks the model first: a move candidate whose estimated
-// cost is not below its cell's stay-put cost is dominated — replacing it
-// with "stay" in any feasible solution stays feasible (staying occupies
-// nothing new) and does not increase the objective — so it is dropped, and
-// cells left with no improving candidate are fixed to their current
-// position outside the model.
-//
-// Degradation ladder: a solve that ends LimitReached or Infeasible — or a
-// ctx deadline that expires before the solve can start — drops to the
-// greedy improving selection below (usedGreedy=true). The greedy path is
-// always feasible and never worse than everyone staying put.
-func (e *Engine) selectCandidates(ctx context.Context, cands [][]candidate) (_ []*candidate, _ ilp.Solution, usedGreedy bool) {
-	var chosen []*candidate
-	type cellCands struct {
-		ci   int
-		list []int // candidate indices within cands[ci], current first
-	}
-	var active []cellCands
+// cellCands is one critical cell still in play after pruning: its index
+// into the candidate table and the candidate indices worth modelling.
+type cellCands struct {
+	ci   int
+	list []int // candidate indices within cands[ci], current first
+}
+
+// pruneDominated is the exact pruning pass of the Eq. 12 selection: a move
+// candidate whose estimated cost is not below its cell's stay-put cost is
+// dominated and dropped; cells left with no improving candidate are fixed
+// to their current position (returned in ascending cell-index order, the
+// prefix of the serial chosen order). The remaining cells come back as the
+// active set, also ascending. It is a pure function of the candidates'
+// costs, so the sharded merge can re-run it globally to reconstruct the
+// serial chosen order from per-region solutions.
+func pruneDominated(cands [][]candidate) (fixed []*candidate, active []cellCands) {
 	for i, cs := range cands {
 		curIdx := -1
 		for j := range cs {
@@ -215,11 +212,31 @@ func (e *Engine) selectCandidates(ctx context.Context, cands [][]candidate) (_ [
 			}
 		}
 		if len(keep) == 1 {
-			chosen = append(chosen, &cands[i][curIdx])
+			fixed = append(fixed, &cands[i][curIdx])
 			continue
 		}
 		active = append(active, cellCands{i, keep})
 	}
+	return fixed, active
+}
+
+// selectCandidates builds and solves the Eq. 12 selection ILP: one
+// candidate per critical cell; candidates of different cells that move the
+// same cell or whose moved footprints overlap exclude each other.
+//
+// Exact pruning shrinks the model first: a move candidate whose estimated
+// cost is not below its cell's stay-put cost is dominated — replacing it
+// with "stay" in any feasible solution stays feasible (staying occupies
+// nothing new) and does not increase the objective — so it is dropped, and
+// cells left with no improving candidate are fixed to their current
+// position outside the model.
+//
+// Degradation ladder: a solve that ends LimitReached or Infeasible — or a
+// ctx deadline that expires before the solve can start — drops to the
+// greedy improving selection below (usedGreedy=true). The greedy path is
+// always feasible and never worse than everyone staying put.
+func (e *Engine) selectCandidates(ctx context.Context, cands [][]candidate) (_ []*candidate, _ ilp.Solution, usedGreedy bool) {
+	chosen, active := pruneDominated(cands)
 	if len(active) == 0 {
 		return chosen, ilp.Solution{Status: ilp.Optimal, HasIncumbent: true}, false
 	}
@@ -448,6 +465,25 @@ func (e *Engine) selectCandidates(ctx context.Context, cands [][]candidate) (_ [
 // returns the moved cell IDs — history marking is deferred until the
 // transaction's invariant check passes.
 func (e *Engine) applyMoves(txn *view.Txn, chosen []*candidate, curCost map[int32]float64, st *IterStats) (moved []int32) {
+	movedCells := e.applyMoveSet(txn, chosen, curCost, st)
+
+	// Reroute all nets touching moved cells, in deterministic order; the
+	// transaction records each net's pre-iteration route on first touch.
+	nets := e.affectedNets(movedCells)
+	for _, nid := range nets {
+		txn.RerouteNet(nid)
+	}
+	st.ReroutedNets = len(nets)
+	return sortedCellIDs(movedCells)
+}
+
+// applyMoveSet commits the position half of the Update Database phase:
+// every selected non-current candidate's move group goes through the
+// transaction, with the estimation bookkeeping (EstBefore/EstAfter sums in
+// chosen order — float addition order is part of the bit-identity contract)
+// and the skipped-move accounting. The reroute half is the caller's; the
+// sharded merge interleaves it with conflict tracking.
+func (e *Engine) applyMoveSet(txn *view.Txn, chosen []*candidate, curCost map[int32]float64, st *IterStats) map[int32]bool {
 	movedCells := map[int32]bool{}
 	for _, c := range chosen {
 		if c.isCurrent {
@@ -470,29 +506,26 @@ func (e *Engine) applyMoves(txn *view.Txn, chosen []*candidate, curCost map[int3
 		}
 	}
 	st.MovedCells = len(movedCells)
+	return movedCells
+}
 
-	// Reroute all nets touching moved cells, in deterministic order; the
-	// transaction records each net's pre-iteration route on first touch.
+// affectedNets returns every net touching a moved cell, ascending.
+func (e *Engine) affectedNets(movedCells map[int32]bool) []int32 {
 	netSet := map[int32]bool{}
 	for id := range movedCells {
 		for _, nid := range e.D.Cells[id].Nets {
 			netSet[nid] = true
 		}
 	}
-	nets := make([]int32, 0, len(netSet))
-	for nid := range netSet {
-		nets = append(nets, nid)
-	}
-	sort.Slice(nets, func(a, b int) bool { return nets[a] < nets[b] })
-	for _, nid := range nets {
-		txn.RerouteNet(nid)
-	}
-	st.ReroutedNets = len(netSet)
+	return sortedCellIDs(netSet)
+}
 
-	moved = make([]int32, 0, len(movedCells))
-	for id := range movedCells {
-		moved = append(moved, id)
+// sortedCellIDs flattens an ID set into an ascending slice.
+func sortedCellIDs(set map[int32]bool) []int32 {
+	out := make([]int32, 0, len(set))
+	for id := range set {
+		out = append(out, id)
 	}
-	sort.Slice(moved, func(a, b int) bool { return moved[a] < moved[b] })
-	return moved
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
 }

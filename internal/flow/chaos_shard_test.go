@@ -1,0 +1,124 @@
+package flow
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/faultinject"
+)
+
+// shardChaosConfig is quickConfig with region sharding on and the critical
+// set thinned so the flow fixture's die actually partitions (the default
+// gamma percolates into one region — see the parity referee in
+// internal/crp). The faults below fire per region call, so they work at any
+// region count >= 1.
+func shardChaosConfig() Config {
+	cfg := quickConfig()
+	cfg.CRP.ShardRegions = 16
+	cfg.CRP.Gamma = 0.03
+	cfg.CRP.Legal.NSites = 8
+	cfg.CRP.Legal.NRows = 3
+	return cfg
+}
+
+// positionsOf snapshots every cell coordinate for bit-identity checks.
+func positionsOf(d *db.Design) []int {
+	pos := make([]int, 0, 2*len(d.Cells))
+	for _, c := range d.Cells {
+		pos = append(pos, c.Pos.X, c.Pos.Y)
+	}
+	return pos
+}
+
+// samePositions reports cell-by-cell placement equality.
+func samePositions(t *testing.T, want, got []int, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: position vectors differ in length: %d vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: placements diverged at coordinate %d: %d vs %d", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestChaosShardRegionPanic kills a speculative region pipeline with a
+// planned worker panic. The sharded engine must quarantine exactly that
+// region, redo it serially, report the event as a degradation — and, because
+// the serial redo replays the identical deterministic pipeline, finish at
+// placements bit-identical to a zero-fault sharded run.
+func TestChaosShardRegionPanic(t *testing.T) {
+	clean := design(t, 50)
+	cleanRes := RunCRP(context.Background(), clean, 2, shardChaosConfig())
+	if cleanRes.Degraded() {
+		t.Fatalf("fault-free sharded run degraded: %v", cleanRes.Degradations)
+	}
+	want := positionsOf(clean)
+
+	inj := faultinject.New(faultinject.Plan{PanicAtShardRegionCall: 1})
+	d := design(t, 50)
+	cfg := shardChaosConfig()
+	cfg.CRP.Hooks.ShardRegion = inj.ShardRegionHook()
+	r := RunCRP(context.Background(), d, 2, cfg)
+
+	if fired := inj.Fired(); len(fired) != 1 {
+		t.Fatalf("expected exactly one injected fault, got %v", fired)
+	}
+	if !hasKind(r, "shard-region-panic") {
+		t.Errorf("no shard-region-panic degradation recorded: %v", r.Degradations)
+	}
+	if r.Failed {
+		t.Error("run failed outright; a region panic must degrade, not abort")
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("design invalid after recovery: %v", err)
+	}
+	if r.Metrics.Vias <= 0 {
+		t.Errorf("degenerate metrics after recovery: %+v", r.Metrics)
+	}
+	samePositions(t, want, positionsOf(d), "panic-quarantined run vs zero-fault run")
+}
+
+// TestChaosShardRegionBudget slows every region pipeline past a tiny
+// Budgets.ShardRegion so the budget-expiry degradation fires
+// deterministically regardless of machine speed. The overrunning regions
+// are redone serially (the redo is not budgeted), so here too the final
+// placements must match a zero-fault sharded run bit-for-bit.
+func TestChaosShardRegionBudget(t *testing.T) {
+	clean := design(t, 51)
+	cleanRes := RunCRP(context.Background(), clean, 2, shardChaosConfig())
+	if cleanRes.Degraded() {
+		t.Fatalf("fault-free sharded run degraded: %v", cleanRes.Degradations)
+	}
+	want := positionsOf(clean)
+
+	inj := faultinject.New(faultinject.Plan{
+		SlowShardRegionFromCall: 1,
+		ShardRegionDelay:        20 * time.Millisecond,
+	})
+	d := design(t, 51)
+	cfg := shardChaosConfig()
+	cfg.Budgets.ShardRegion = time.Millisecond
+	cfg.CRP.Hooks.ShardRegion = inj.ShardRegionHook()
+	r := RunCRP(context.Background(), d, 2, cfg)
+
+	if fired := inj.Fired(); len(fired) == 0 {
+		t.Fatal("the slowdown fault never fired")
+	}
+	if !hasKind(r, "shard-region-budget") {
+		t.Errorf("no shard-region-budget degradation recorded: %v", r.Degradations)
+	}
+	if r.Failed {
+		t.Error("run failed outright; a budget overrun must degrade, not abort")
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("design invalid after recovery: %v", err)
+	}
+	if r.Metrics.Vias <= 0 {
+		t.Errorf("degenerate metrics after recovery: %+v", r.Metrics)
+	}
+	samePositions(t, want, positionsOf(d), "budget-expired run vs zero-fault run")
+}

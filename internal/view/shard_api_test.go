@@ -1,0 +1,122 @@
+package view_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/grid"
+	"github.com/crp-eda/crp/internal/view"
+)
+
+// TestTxnSegmentsAndJournalStats exercises the sharded merge's transaction
+// surface: tagged segments partition the op log in execution order, and
+// JournalStats reports the journal's working set without reflection.
+func TestTxnSegmentsAndJournalStats(t *testing.T) {
+	v := buildView(t, fixtureSpec())
+	d := v.Design()
+	txn := v.Begin(v.Version())
+	defer txn.Discard()
+
+	if w, vias, muts := txn.JournalStats(); w != 0 || vias != 0 || muts != 0 {
+		t.Fatalf("fresh transaction journal not empty: wires=%d vias=%d mutations=%d", w, vias, muts)
+	}
+	if segs := txn.Segments(); len(segs) != 0 {
+		t.Fatalf("fresh transaction has %d segments", len(segs))
+	}
+
+	txn.BeginSegment(7)
+	txn.RerouteNetTracked(0)
+	txn.BeginSegment(3)
+	txn.RerouteNetTracked(int32(len(d.Nets) - 1))
+	txn.BeginSegment(9) // empty trailing segment
+
+	segs := txn.Segments()
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments, want 3", len(segs))
+	}
+	if segs[0].Tag != 7 || segs[1].Tag != 3 || segs[2].Tag != 9 {
+		t.Fatalf("segment tags %d/%d/%d not in execution order", segs[0].Tag, segs[1].Tag, segs[2].Tag)
+	}
+	if len(segs[2].Ops) != 0 {
+		t.Errorf("trailing empty segment recorded %d ops", len(segs[2].Ops))
+	}
+	total := 0
+	for _, s := range segs {
+		total += len(s.Ops)
+	}
+	_, _, muts := txn.JournalStats()
+	if uint64(total) != muts {
+		t.Errorf("segments hold %d ops, journal counted %d mutations", total, muts)
+	}
+	if muts == 0 {
+		t.Error("rerouting two nets recorded no demand mutations; the segment test is vacuous")
+	}
+	wires, vias, _ := txn.JournalStats()
+	if wires+vias == 0 {
+		t.Error("journal reports no touched edges after reroutes")
+	}
+}
+
+// TestIntersectOps pins the conflict detector's contract on hand-built op
+// logs: first-appearance order of the first argument, per-key dedup, and
+// wire/via key spaces that never collide.
+func TestIntersectOps(t *testing.T) {
+	k1 := grid.EdgeKey{L: 0, I: 5}
+	k2 := grid.EdgeKey{L: 1, I: 9}
+	k3 := grid.EdgeKey{L: 2, I: 1}
+	wire := func(k grid.EdgeKey) grid.JournalOp { return grid.JournalOp{Key: k, Delta: 1} }
+	via := func(k grid.EdgeKey) grid.JournalOp { return grid.JournalOp{Key: k, Delta: 1, Via: true} }
+
+	if got := view.IntersectOps(nil, []grid.JournalOp{wire(k1)}); len(got) != 0 {
+		t.Errorf("empty a intersected to %v", got)
+	}
+	if got := view.IntersectOps([]grid.JournalOp{wire(k1)}, []grid.JournalOp{wire(k2)}); len(got) != 0 {
+		t.Errorf("disjoint logs intersected to %v", got)
+	}
+	// Same EdgeKey in different spaces is NOT a conflict.
+	if got := view.IntersectOps([]grid.JournalOp{wire(k1)}, []grid.JournalOp{via(k1)}); len(got) != 0 {
+		t.Errorf("wire and via edges with equal keys intersected to %v", got)
+	}
+	// First-appearance order of a, duplicates collapsed.
+	a := []grid.JournalOp{wire(k3), wire(k1), wire(k3), via(k2), wire(k1)}
+	b := []grid.JournalOp{wire(k1), wire(k3), via(k2), wire(k2)}
+	want := []grid.EdgeKey{k3, k1, k2}
+	if got := view.IntersectOps(a, b); !reflect.DeepEqual(got, want) {
+		t.Errorf("IntersectOps = %v, want %v (first-appearance order of a, deduped)", got, want)
+	}
+}
+
+// TestOverlays pins the worker-overlay fan-out helper: n independent
+// overlays over the same base, each seeing its own staged positions only.
+func TestOverlays(t *testing.T) {
+	v := buildView(t, fixtureSpec())
+	d := v.Design()
+	ovs := v.Overlays(3)
+	if len(ovs) != 3 {
+		t.Fatalf("Overlays(3) returned %d overlays", len(ovs))
+	}
+	var mover int32 = -1
+	for _, c := range d.Cells {
+		if !c.Fixed {
+			mover = c.ID
+			break
+		}
+	}
+	if mover < 0 {
+		t.Fatal("fixture has no movable cell")
+	}
+	base := ovs[1].Pos(mover)
+	staged := base.Add(geom.Point{X: 1})
+	ovs[0].Stage(mover, staged)
+	if got := ovs[0].Pos(mover); got != staged {
+		t.Errorf("staging overlay reads %v, staged %v", got, staged)
+	}
+	if got := ovs[1].Pos(mover); got != base {
+		t.Errorf("sibling overlay reads %v, want base %v — overlays are not independent", got, base)
+	}
+	ovs[0].Discard()
+	if got := ovs[0].Pos(mover); got != base {
+		t.Errorf("after Discard overlay reads %v, want base %v", got, base)
+	}
+}

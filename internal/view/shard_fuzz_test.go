@@ -1,0 +1,176 @@
+package view_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/crp-eda/crp/internal/grid"
+	"github.com/crp-eda/crp/internal/view"
+)
+
+// fuzzMergeBase is the shared routed grid the merge fuzzer mutates and
+// restores; fuzz inputs run sequentially within a worker process, so one
+// fixture with ExportDemand/RestoreDemand bracketing is race-free (the same
+// pattern FuzzOverlayCommit uses for the whole view).
+var fuzzMergeBase struct {
+	once sync.Once
+	g    *grid.Grid
+	st0  grid.DemandState
+}
+
+// decodeOps turns fuzz bytes into a demand-mutation sequence: each 3-byte
+// chunk is one AddWire/AddVia with a positive delta, optionally followed by
+// its exact cancellation. Cancellation pairs matter: they leave no net
+// demand change for a full-grid diff to see, but the journal still counts
+// the edge as touched — exactly the conservative case that separates the
+// O(Δ) conflict detector from the brute-force referee.
+type fuzzOp struct {
+	x, y, l int
+	via     bool
+	delta   float64
+}
+
+func decodeOps(g *grid.Grid, data []byte) []fuzzOp {
+	var ops []fuzzOp
+	for i := 0; i+2 < len(data) && len(ops) < 24; i += 3 {
+		op := fuzzOp{
+			x:     int(data[i]) % g.NX,
+			y:     int(data[i+1]) % g.NY,
+			via:   data[i+2]&1 != 0,
+			delta: 0.5 * float64(1+(data[i+2]>>4)%4),
+		}
+		if op.via {
+			op.l = int(data[i+2]>>1) % (g.NL - 1)
+		} else {
+			op.l = int(data[i+2]>>1) % g.NL
+		}
+		ops = append(ops, op)
+		if data[i+2]&8 != 0 {
+			neg := op
+			neg.delta = -op.delta
+			ops = append(ops, neg)
+		}
+	}
+	return ops
+}
+
+// applyOps runs the sequence under a fresh op-recording journal and returns
+// the recorded log — the same artifact the sharded merge segments and
+// intersects.
+func applyOps(t *testing.T, g *grid.Grid, ops []fuzzOp) []grid.JournalOp {
+	t.Helper()
+	j := grid.NewJournal()
+	j.EnableOps()
+	g.AttachJournal(j)
+	for i, op := range ops {
+		if op.via {
+			g.AddVia(op.x, op.y, op.l, op.delta)
+		} else {
+			g.AddWire(op.x, op.y, op.l, op.delta)
+		}
+		if n, ok := g.JournalMutations(); !ok || n != uint64(i+1) {
+			t.Fatalf("JournalMutations = (%d, %v) after %d mutations", n, ok, i+1)
+		}
+	}
+	g.DetachJournal()
+	if _, ok := g.JournalMutations(); ok {
+		t.Fatal("JournalMutations still reports a journal after detach")
+	}
+	return j.Ops
+}
+
+// touched returns the edges whose demand differs between two snapshots —
+// the brute-force full-grid diff the journal intersection is checked
+// against. Wire and via edges are keyed in separate maps, mirroring the
+// journal's two spaces.
+func touched(g *grid.Grid, a, b grid.DemandState) (wire, vias map[grid.EdgeKey]bool) {
+	wire, vias = map[grid.EdgeKey]bool{}, map[grid.EdgeKey]bool{}
+	for l := range a.Wire {
+		for i := range a.Wire[l] {
+			if a.Wire[l][i] != b.Wire[l][i] {
+				wire[grid.EdgeKey{L: int32(l), I: int32(i)}] = true
+			}
+		}
+	}
+	for l := range a.Vias {
+		for i := range a.Vias[l] {
+			if a.Vias[l][i] != b.Vias[l][i] {
+				vias[grid.EdgeKey{L: int32(l), I: int32(i)}] = true
+			}
+		}
+	}
+	return wire, vias
+}
+
+// FuzzShardMerge cross-checks the sharded merge's O(Δ) journal conflict
+// detector against ground truth on a real grid:
+//
+//  1. soundness — every edge a brute-force full-grid diff proves both
+//     sequences net-changed must be reported by IntersectOps (the detector
+//     may over-report cancelled writes, never under-report);
+//  2. commutation — when IntersectOps finds no shared edge, applying the
+//     two sequences in either order must leave bitwise-identical demand,
+//     which is the exact property the speculative merge relies on when it
+//     declares two regions conflict-free.
+func FuzzShardMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, []byte{7, 8, 9})
+	f.Add([]byte{0, 0, 0}, []byte{0, 0, 0})
+	f.Add([]byte{10, 20, 0x1f, 30, 40, 0x08}, []byte{10, 20, 0x1f})
+	f.Add([]byte{}, []byte{5, 5, 2})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		fuzzMergeBase.once.Do(func() {
+			spec := fixtureSpec()
+			spec.Name, spec.Cells, spec.Nets, spec.Seed = "merge_fuzz", 80, 60, 13
+			v := buildView(t, spec)
+			fuzzMergeBase.g = v.Grid()
+			fuzzMergeBase.st0 = fuzzMergeBase.g.ExportDemand()
+		})
+		g, st0 := fuzzMergeBase.g, fuzzMergeBase.st0
+		restore := func() {
+			if err := g.RestoreDemand(st0); err != nil {
+				t.Fatalf("restoring fixture demand: %v", err)
+			}
+		}
+		seqA := decodeOps(g, rawA)
+		seqB := decodeOps(g, rawB)
+
+		opsA := applyOps(t, g, seqA)
+		stA := g.ExportDemand()
+		restore()
+		opsB := applyOps(t, g, seqB)
+		stB := g.ExportDemand()
+		restore()
+
+		applyOps(t, g, seqA)
+		applyOps(t, g, seqB)
+		stAB := g.ExportDemand()
+		restore()
+		applyOps(t, g, seqB)
+		applyOps(t, g, seqA)
+		stBA := g.ExportDemand()
+		restore()
+
+		conflicts := map[grid.EdgeKey]bool{}
+		for _, k := range view.IntersectOps(opsA, opsB) {
+			conflicts[k] = true
+		}
+
+		wireA, viaA := touched(g, stA, st0)
+		wireB, viaB := touched(g, stB, st0)
+		for k := range wireA {
+			if wireB[k] && !conflicts[k] {
+				t.Fatalf("wire edge %v net-changed by both sequences but missing from IntersectOps", k)
+			}
+		}
+		for k := range viaA {
+			if viaB[k] && !conflicts[k] {
+				t.Fatalf("via edge %v net-changed by both sequences but missing from IntersectOps", k)
+			}
+		}
+
+		if len(conflicts) == 0 && !reflect.DeepEqual(stAB, stBA) {
+			t.Fatal("IntersectOps reported no shared edges, but the sequences do not commute bitwise")
+		}
+	})
+}
