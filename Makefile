@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race race-solver race-shard lint-state bench-smoke bench-json fuzz-smoke chaos crash-chaos
+.PHONY: check vet build test race race-solver race-shard lint-state bench-smoke bench-json fuzz-smoke chaos crash-chaos service-chaos
 
 ## check: the full pre-merge gate — vet, build, state lint, race-enabled
-## tests, bench smoke, chaos suite, crash-chaos suite, fuzz smoke.
-check: vet build lint-state race-solver race-shard race bench-smoke chaos crash-chaos fuzz-smoke
+## tests, bench smoke, chaos suite, crash-chaos suite, service-chaos suite,
+## fuzz smoke.
+check: vet build lint-state race-solver race-shard race bench-smoke chaos crash-chaos service-chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -72,6 +73,13 @@ chaos:
 crash-chaos:
 	$(GO) test -race -count=1 -run 'TestResume|TestCheckpoint|TestSupervisor' ./internal/flow
 	$(GO) test -race -count=1 ./internal/checkpoint ./internal/supervise ./internal/atomicio
+
+## service-chaos: the daemon-level chaos suite — multi-tenant job service
+## under injected worker panics, SIGKILLed child workers, preemption,
+## drain/restart recovery and overload, asserting byte-identical outputs
+## and structured admission errors (see DESIGN.md, "Service architecture").
+service-chaos:
+	$(GO) test -race -count=1 ./internal/service ./internal/supervise
 
 ## fuzz-smoke: short coverage-guided runs of every fuzz target (one -fuzz
 ## per invocation — the go tool allows a single target at a time). The

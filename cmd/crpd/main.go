@@ -1,59 +1,183 @@
-// Command crpd is the self-healing run supervisor: it executes a child
-// command (typically a checkpointed crp invocation) and restarts it with
-// exponential backoff and jitter when it crashes, up to a retry cap.
-// Combined with `crp -checkpoint-dir D -resume`, a run that is killed at
-// any point — OOM, node reboot, injected fault — completes with outputs
-// bit-identical to an uninterrupted run, losing at most one CR&P iteration
-// of work per crash.
+// Command crpd is the CR&P daemon. It has grown from a single-child
+// restart supervisor into a long-running multi-tenant job service, and
+// runs in one of three modes:
 //
-// Usage:
+// Daemon mode (-listen): serve the multi-tenant job API. Jobs — inline
+// LEF/DEF or synthetic designs plus CR&P parameters — are admitted into a
+// bounded queue, run on a bounded worker pool under per-job budgets and
+// crash-safe checkpoint directories, and observed over HTTP/JSON
+// (per-iteration progress and degradation events stream as NDJSON).
+// Preempted or crashed jobs resume from their last checkpoint on any free
+// worker slot with outputs bit-identical to an uninterrupted run. SIGTERM
+// drains gracefully: admission closes, in-flight jobs checkpoint and
+// requeue, and a restarted daemon on the same -data-dir picks them up.
+//
+//	crpd -listen :8731 -data-dir /var/lib/crpd [-workers 2] [-queue-cap 16]
+//	     [-tenant-cap-active 8] [-tenant-cap-running 1] [-retry-cap 3]
+//	     [-drain-grace 10s] [-isolate]
+//
+// Supervisor mode (trailing child command): the original self-healing
+// wrapper. It executes the child (typically a checkpointed crp
+// invocation) and restarts it with exponential backoff and jitter when it
+// crashes, up to a retry cap. SIGTERM/SIGINT interrupt the loop — even
+// mid-backoff — without starting further attempts.
 //
 //	crpd [-max-attempts 5] [-backoff 1s] [-max-backoff 30s] [-jitter-seed 1]
 //	     [-report report.json] -- crp -lef ... -def ... -checkpoint-dir ckpt -resume
 //
-// The child's stdout/stderr pass through. Every attempt is logged to
-// stderr, and -report writes the structured attempt history (atomically)
-// as JSON. Exit status: 0 when the child eventually succeeded, 1 when the
-// retry cap was exhausted, 2 on usage errors.
+// Worker mode (CRPD_RUN_JOB=<jobdir> in the environment): internal. A
+// daemon started with -isolate re-execs itself in this mode to run each
+// job attempt in its own process, so a worker crash — SIGKILL included —
+// cannot take the daemon or its other jobs down.
+//
+// Exit status: 0 on success, 1 on a failed run or report write, 2 on
+// usage errors; worker mode exits with the attempt's protocol code.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/crp-eda/crp/internal/atomicio"
+	"github.com/crp-eda/crp/internal/service"
 	"github.com/crp-eda/crp/internal/supervise"
 )
 
 func main() {
+	if dir := os.Getenv(service.EnvRunJob); dir != "" {
+		os.Exit(service.RunWorkerAttempt(dir))
+	}
+
 	var (
-		maxAttempts = flag.Int("max-attempts", 5, "total executions before giving up")
-		base        = flag.Duration("backoff", time.Second, "delay before the first retry (doubles per retry)")
-		maxBackoff  = flag.Duration("max-backoff", 30*time.Second, "backoff growth cap")
-		jitterSeed  = flag.Int64("jitter-seed", 1, "seed for the deterministic backoff jitter")
-		reportPath  = flag.String("report", "", "write the JSON attempt report here (atomic)")
+		// Daemon mode.
+		listen     = flag.String("listen", "", "serve the job API on this address (daemon mode)")
+		dataDir    = flag.String("data-dir", "", "job state root (daemon mode; required with -listen)")
+		workers    = flag.Int("workers", 2, "concurrent job slots (daemon)")
+		queueCap   = flag.Int("queue-cap", 16, "bounded queue capacity (daemon)")
+		tenantAct  = flag.Int("tenant-cap-active", 0, "per-tenant queued+running cap, 0 = queue-cap (daemon)")
+		tenantRun  = flag.Int("tenant-cap-running", 0, "per-tenant running cap, 0 = workers (daemon)")
+		retryCap   = flag.Int("retry-cap", 3, "attempts per job activation (daemon)")
+		drainGrace = flag.Duration("drain-grace", 10*time.Second, "wait for a checkpoint boundary before hard-cancelling (daemon)")
+		isolate    = flag.Bool("isolate", false, "run each job attempt in a child process (daemon)")
+
+		// Supervisor mode.
+		maxAttempts = flag.Int("max-attempts", 5, "total executions before giving up (supervisor)")
+		base        = flag.Duration("backoff", time.Second, "delay before the first retry, doubles per retry (supervisor)")
+		maxBackoff  = flag.Duration("max-backoff", 30*time.Second, "backoff growth cap (supervisor)")
+		jitterSeed  = flag.Int64("jitter-seed", 1, "seed for the deterministic backoff jitter (supervisor)")
+		reportPath  = flag.String("report", "", "write the JSON attempt report here, atomically (supervisor)")
 	)
 	flag.Parse()
-	argv := flag.Args()
-	if len(argv) == 0 {
-		fmt.Fprintln(os.Stderr, "crpd: no child command given (crpd [flags] -- cmd args...)")
+
+	switch {
+	case *listen != "":
+		os.Exit(runDaemon(daemonFlags{
+			listen: *listen, dataDir: *dataDir, workers: *workers,
+			queueCap: *queueCap, tenantActive: *tenantAct, tenantRunning: *tenantRun,
+			retryCap: *retryCap, drainGrace: *drainGrace, isolate: *isolate,
+		}))
+	case len(flag.Args()) > 0:
+		os.Exit(runSupervisor(flag.Args(), *maxAttempts, *base, *maxBackoff, *jitterSeed, *reportPath))
+	default:
+		fmt.Fprintln(os.Stderr, "crpd: need -listen ADDR (daemon) or a child command (crpd [flags] -- cmd args...)")
 		flag.Usage()
 		os.Exit(2)
 	}
+}
 
+type daemonFlags struct {
+	listen, dataDir                       string
+	workers, queueCap                     int
+	tenantActive, tenantRunning, retryCap int
+	drainGrace                            time.Duration
+	isolate                               bool
+}
+
+func runDaemon(f daemonFlags) int {
+	if f.dataDir == "" {
+		fmt.Fprintln(os.Stderr, "crpd: -listen requires -data-dir")
+		return 2
+	}
+	cfg := service.Config{
+		DataDir:          f.dataDir,
+		Workers:          f.workers,
+		QueueCap:         f.queueCap,
+		TenantMaxActive:  f.tenantActive,
+		TenantMaxRunning: f.tenantRunning,
+		RetryCap:         f.retryCap,
+		DrainGrace:       f.drainGrace,
+	}
+	if f.isolate {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crpd: resolving own binary for -isolate:", err)
+			return 1
+		}
+		cfg.Exec = []string{exe}
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crpd:", err)
+		return 1
+	}
+	srv := &http.Server{Addr: f.listen, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "crpd: serving on %s (data %s, %d workers, queue %d)\n",
+		f.listen, f.dataDir, cfg.Workers, cfg.QueueCap)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "crpd: serve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: checkpoint and requeue every in-flight job, then
+	// stop accepting connections. A follow-up crpd on the same -data-dir
+	// resumes the queue exactly where it stood.
+	fmt.Fprintln(os.Stderr, "crpd: draining (in-flight jobs checkpoint and requeue)")
+	dctx, dcancel := context.WithTimeout(context.Background(), 2*cfg.DrainGrace+30*time.Second)
+	defer dcancel()
+	code := 0
+	if err := svc.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "crpd:", err)
+		code = 1
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "crpd: shutdown:", err)
+		code = 1
+	}
+	<-errCh // ListenAndServe returns ErrServerClosed after Shutdown
+	return code
+}
+
+func runSupervisor(argv []string, maxAttempts int, base, maxBackoff time.Duration, jitterSeed int64, reportPath string) int {
 	job, err := supervise.Command(argv, os.Stdout, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crpd:", err)
-		os.Exit(2)
+		return 2
 	}
-	rep := supervise.Run(supervise.Config{
-		MaxAttempts: *maxAttempts,
-		BaseBackoff: *base,
-		MaxBackoff:  *maxBackoff,
-		JitterSeed:  *jitterSeed,
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	rep := supervise.RunCtx(ctx, supervise.Config{
+		MaxAttempts: maxAttempts,
+		BaseBackoff: base,
+		MaxBackoff:  maxBackoff,
+		JitterSeed:  jitterSeed,
 		OnAttempt: func(at supervise.Attempt) {
 			if at.Err == "" {
 				fmt.Fprintf(os.Stderr, "crpd: attempt %d succeeded in %s\n", at.N, at.Duration.Round(time.Millisecond))
@@ -67,17 +191,26 @@ func main() {
 		},
 	}, job)
 
-	if *reportPath != "" {
+	code := 0
+	if reportPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err == nil {
-			err = atomicio.WriteFileBytes(*reportPath, append(data, '\n'))
+			err = atomicio.WriteFileBytes(reportPath, append(data, '\n'))
 		}
 		if err != nil {
+			// A report the caller asked for but did not get is a failure,
+			// even when the child itself succeeded.
 			fmt.Fprintln(os.Stderr, "crpd: writing report:", err)
+			code = 1
 		}
 	}
-	if !rep.Succeeded {
+	switch {
+	case rep.Cancelled:
+		fmt.Fprintf(os.Stderr, "crpd: cancelled after %d attempt(s)\n", len(rep.Attempts))
+		return 1
+	case !rep.Succeeded:
 		fmt.Fprintf(os.Stderr, "crpd: giving up after %d attempt(s)\n", len(rep.Attempts))
-		os.Exit(1)
+		return 1
 	}
+	return code
 }

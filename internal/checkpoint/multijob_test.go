@@ -1,0 +1,174 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// The multi-job tests pin the isolation property the service layer relies
+// on: one Manager per job directory, many jobs under one data root. A
+// manager must never read, prune, or corrupt a sibling's files — even when
+// the siblings save and prune concurrently — and corruption recovery must
+// stay local to the directory it happened in.
+
+func jobSnapshot(job string, iter int) *Snapshot {
+	s := sample()
+	s.DesignName = job
+	s.Iter = iter
+	s.Seed = int64(len(job)) // differ per job so payloads are not identical
+	return s
+}
+
+func TestSiblingManagersNeverCrossContaminate(t *testing.T) {
+	root := t.TempDir()
+	const jobs = 4
+	const saves = 12
+
+	var wg sync.WaitGroup
+	dirs := make([]string, jobs)
+	for i := 0; i < jobs; i++ {
+		dirs[i] = filepath.Join(root, fmt.Sprintf("j%06d", i+1), "ckpt")
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := Open(dirs[i], 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			job := fmt.Sprintf("job-%d", i+1)
+			for iter := 0; iter < saves; iter++ {
+				if err := m.Save(jobSnapshot(job, iter)); err != nil {
+					t.Errorf("%s save %d: %v", job, iter, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i, dir := range dirs {
+		m, err := Open(dir, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, notes, err := m.Latest()
+		if err != nil {
+			t.Fatalf("dir %s: %v", dir, err)
+		}
+		if len(notes) != 0 {
+			t.Errorf("dir %s recovered with notes %v, want clean", dir, notes)
+		}
+		want := fmt.Sprintf("job-%d", i+1)
+		if got.DesignName != want || got.Iter != saves-1 {
+			t.Errorf("dir %s latest = %s iter %d, want %s iter %d",
+				dir, got.DesignName, got.Iter, want, saves-1)
+		}
+		// Pruning must be local: keep=2 leaves exactly 2 checkpoint files
+		// (plus MANIFEST) regardless of sibling activity.
+		entries, err := m.readManifest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 2 {
+			t.Errorf("dir %s retained %d manifest entries, want 2", dir, len(entries))
+		}
+	}
+}
+
+func TestCorruptLatestFallbackIsolatedFromBusySibling(t *testing.T) {
+	root := t.TempDir()
+	victimDir := filepath.Join(root, "victim", "ckpt")
+	busyDir := filepath.Join(root, "busy", "ckpt")
+
+	victim, err := Open(victimDir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 3; iter++ {
+		if err := victim.Save(jobSnapshot("victim", iter)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the victim's newest checkpoint mid-file (a crash mid-write).
+	entries, err := victim.readManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest := filepath.Join(victimDir, entries[len(entries)-1].File)
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, data[:len(data)/2], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// While a sibling hammers saves and prunes, the victim's fallback must
+	// resolve against its own directory only.
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	var startedOnce sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer startedOnce.Do(func() { close(started) })
+		m, err := Open(busyDir, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for iter := 0; ; iter++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := m.Save(jobSnapshot("busy", iter)); err != nil {
+				t.Errorf("busy save %d: %v", iter, err)
+				return
+			}
+			startedOnce.Do(func() { close(started) })
+		}
+	}()
+	<-started
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for round := 0; round < 20; round++ {
+		got, notes, err := victim.Latest()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got.DesignName != "victim" || got.Iter != 1 {
+			t.Fatalf("round %d: fell back to %s iter %d, want victim iter 1",
+				round, got.DesignName, got.Iter)
+		}
+		if len(notes) == 0 {
+			t.Fatalf("round %d: corrupt newest produced no recovery notes", round)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The sibling never saw the victim's corruption.
+	busy, err := Open(busyDir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, notes, err := busy.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DesignName != "busy" || len(notes) != 0 {
+		t.Fatalf("busy latest = %s notes %v, want clean busy snapshot", got.DesignName, notes)
+	}
+}

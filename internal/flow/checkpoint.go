@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -13,6 +14,31 @@ import (
 	"github.com/crp-eda/crp/internal/lefdef"
 	"github.com/crp-eda/crp/internal/view"
 )
+
+// Event is one observable progress point of a checkpointed run. Events are
+// pure observations of state the flow already computed: a run with OnEvent
+// wired emits the same bytes as one without, exactly like checkpoint
+// writes themselves.
+type Event struct {
+	// Kind is "gr" (the post-global-routing checkpoint), "resume" (a
+	// snapshot was loaded and the run continues from it), "iteration"
+	// (one CR&P iteration completed) or "degradation" (one
+	// fault-tolerance event, as it is recorded).
+	Kind string `json:"kind"`
+	// Iter counts completed CR&P iterations at the event (0 after GR).
+	Iter int `json:"iter"`
+	// K is the configured iteration count.
+	K int `json:"k,omitempty"`
+	// Moved is the iteration's moved-cell count (Kind "iteration").
+	Moved int `json:"moved,omitempty"`
+	// TotalMoved is the whole-run moved-cell total so far.
+	TotalMoved int `json:"total_moved,omitempty"`
+	// Stage and Fault identify a "degradation" event (Degradation.Stage
+	// and .Kind); Detail carries its human-readable description.
+	Stage  string `json:"stage,omitempty"`
+	Fault  string `json:"fault,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
 
 // Checkpointing configures crash-safe journaling of the CR&P loop. The
 // Manager owns the checkpoint directory; a snapshot is committed after
@@ -28,10 +54,26 @@ type Checkpointing struct {
 	Manager *checkpoint.Manager
 	// AfterSave, when non-nil, runs after the Nth (1-based) successful
 	// checkpoint commit. The crash-chaos suite hangs process kills and
-	// cancellation off it; production runs leave it nil.
+	// cancellation off it, and the job service hangs its boundary-gated
+	// preemption off it; production batch runs leave it nil.
 	AfterSave func(n int)
+	// OnEvent, when non-nil, observes the run's progress stream: the
+	// post-GR boundary, each completed iteration, each degradation as it
+	// is recorded, and (on Resume) the restored boundary. The callback
+	// runs synchronously on the flow goroutine; it must not block. It
+	// fires even when Manager is nil, so progress streaming does not
+	// require durability.
+	OnEvent func(Event)
 
 	saves int
+}
+
+// event reports one progress point; nil-safe like save.
+func (ck *Checkpointing) event(e Event) {
+	if ck == nil || ck.OnEvent == nil {
+		return
+	}
+	ck.OnEvent(e)
 }
 
 // ErrNoCheckpoint re-exports the manager's "nothing to resume" error so
@@ -94,6 +136,7 @@ func runCheckpointedLoop(ctx context.Context, s session, engine *crp.Engine, kEf
 			d := crp.Degradation{Iter: k + 1, Kind: "run-cancelled", Detail: err.Error()}
 			stats.Degradations = append(stats.Degradations, d)
 			res.degrade("crp", d.Kind, fmt.Sprintf("iter %d: %s", d.Iter, d.Detail))
+			ck.event(Event{Kind: "degradation", Iter: k, K: kEff, Stage: "crp", Fault: d.Kind, Detail: d.Detail})
 			break
 		}
 		st := engine.Iterate(ctx)
@@ -102,11 +145,24 @@ func runCheckpointedLoop(ctx context.Context, s session, engine *crp.Engine, kEf
 		stats.Degradations = append(stats.Degradations, st.Degradations...)
 		for _, d := range st.Degradations {
 			res.degrade("crp", d.Kind, fmt.Sprintf("iter %d: %s", d.Iter, d.Detail))
+			ck.event(Event{Kind: "degradation", Iter: k, K: kEff, Stage: "crp", Fault: d.Kind, Detail: d.Detail})
 		}
-		// Checkpoint every iteration, including rolled-back ones: the
-		// history marks and RNG draws of a rolled-back iteration are part
-		// of the committed stream the next iteration depends on.
+		if ctx.Err() != nil {
+			// The run was cancelled while the iteration executed. Do NOT
+			// commit this iteration's checkpoint: a cancellation-induced
+			// rollback happens at a timing-dependent point, so journaling
+			// it would make a resumed run diverge from an uninterrupted
+			// one. The previous boundary's snapshot stands, and resume
+			// replays this iteration deterministically from there.
+			break
+		}
+		// Checkpoint every completed iteration, including deterministically
+		// rolled-back ones (deadline/invariant rollbacks): their history
+		// marks and RNG draws are part of the committed stream the next
+		// iteration depends on.
 		ck.save(s, engine, kEff, priorMoved+stats.TotalMoved, res)
+		ck.event(Event{Kind: "iteration", Iter: k + 1, K: kEff,
+			Moved: st.MovedCells, TotalMoved: priorMoved + stats.TotalMoved})
 		if engine.Broken() {
 			break
 		}
@@ -142,6 +198,7 @@ func RunCRPCheckpointed(ctx context.Context, d *db.Design, k int, cfg Config, ck
 	engine := crp.New(s.d, s.g, s.r, crpConfig(cfg, k))
 	kEff := engine.Cfg.Iterations
 	ck.save(s, engine, kEff, 0, res) // checkpoint 0: post-GR, pre-loop
+	ck.event(Event{Kind: "gr", Iter: 0, K: kEff})
 	stats := runCheckpointedLoop(ctx, s, engine, kEff, 0, 0, ck, res)
 	tMid := time.Since(t0)
 	m, tDR := detailRoute(ctx, s, cfg, res)
@@ -199,6 +256,7 @@ func Resume(ctx context.Context, d *db.Design, k int, cfg Config, ck *Checkpoint
 		return nil, err
 	}
 	kEff := engine.Cfg.Iterations
+	ck.event(Event{Kind: "resume", Iter: snap.Iter, K: kEff, TotalMoved: snap.TotalMoved})
 	stats := runCheckpointedLoop(ctx, s, engine, kEff, snap.Iter, snap.TotalMoved, ck, res)
 	stats.TotalMoved += snap.TotalMoved
 	tMid := time.Since(t0)
@@ -252,4 +310,32 @@ func restoreSession(d *db.Design, k int, cfg Config, snap *checkpoint.Snapshot) 
 		return session{}, nil, fmt.Errorf("flow: restored state fails invariants: %w", err)
 	}
 	return session{d, g, r, v}, engine, nil
+}
+
+// CheckpointOutputs materializes the best-so-far DEF and route-guide bytes
+// from the newest usable checkpoint — the state a resumed run would
+// continue from — without running further iterations or detailed routing.
+// It is the read side of the job service's "fetch best-so-far mid-run"
+// endpoint. d, k and cfg must match the checkpointed run, exactly as for
+// Resume; the call restores positions into d as a side effect, so callers
+// pass a freshly parsed design. The returned iter is the checkpoint's
+// completed-iteration count. ErrNoCheckpoint means nothing usable exists
+// yet.
+func CheckpointOutputs(d *db.Design, k int, cfg Config, mgr *checkpoint.Manager) (defB, guideB []byte, iter int, err error) {
+	if mgr == nil {
+		return nil, nil, 0, errors.New("flow: CheckpointOutputs needs a checkpoint manager")
+	}
+	snap, _, err := mgr.Latest()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	s, _, err := restoreSession(d, k, cfg, snap)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var def, guide bytes.Buffer
+	if err := writeRunOutputs(s, &def, &guide); err != nil {
+		return nil, nil, 0, err
+	}
+	return def.Bytes(), guide.Bytes(), snap.Iter, nil
 }

@@ -1,0 +1,181 @@
+package flow
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/crp-eda/crp/internal/checkpoint"
+)
+
+// The event tests pin the observer contract OnEvent adds for the job
+// service: progress events change nothing about the run (byte-identical
+// outputs), report the committed truth (one event per durable boundary, in
+// order), and a cancellation mid-iteration is never checkpointed — the
+// previous boundary stands and resume replays deterministically.
+
+func collectEvents(ck *Checkpointing) *[]Event {
+	evs := &[]Event{}
+	ck.OnEvent = func(e Event) { *evs = append(*evs, e) }
+	return evs
+}
+
+func TestEventsArePureObservers(t *testing.T) {
+	const k = 2
+	silent := &Checkpointing{Manager: openManager(t, t.TempDir(), 0)}
+	defSilent, guideSilent, _ := runToBytes(t, design(t, 60), k, quickConfig(), silent)
+
+	ck := &Checkpointing{Manager: openManager(t, t.TempDir(), 0)}
+	evs := collectEvents(ck)
+	defLoud, guideLoud, _ := runToBytes(t, design(t, 60), k, quickConfig(), ck)
+
+	if !bytes.Equal(defSilent, defLoud) || !bytes.Equal(guideSilent, guideLoud) {
+		t.Fatal("attaching OnEvent changed the run's outputs")
+	}
+	want := []Event{
+		{Kind: "gr", Iter: 0, K: k},
+		{Kind: "iteration", Iter: 1, K: k},
+		{Kind: "iteration", Iter: 2, K: k},
+	}
+	if len(*evs) != len(want) {
+		t.Fatalf("events = %+v, want kinds gr,iteration,iteration", *evs)
+	}
+	prevMoved := -1
+	for i, e := range *evs {
+		if e.Kind != want[i].Kind || e.Iter != want[i].Iter || e.K != k {
+			t.Errorf("event %d = %+v, want kind %s iter %d", i, e, want[i].Kind, want[i].Iter)
+		}
+		if e.TotalMoved < prevMoved {
+			t.Errorf("event %d total_moved regressed: %+v", i, e)
+		}
+		prevMoved = e.TotalMoved
+	}
+}
+
+func TestEventsFireWithoutManager(t *testing.T) {
+	// OnEvent must not require durability: a service can stream progress
+	// even with checkpointing off.
+	ck := &Checkpointing{}
+	evs := collectEvents(ck)
+	runToBytes(t, design(t, 60), 1, quickConfig(), ck)
+	if len(*evs) != 2 || (*evs)[0].Kind != "gr" || (*evs)[1].Kind != "iteration" {
+		t.Fatalf("manager-less events = %+v, want gr then iteration", *evs)
+	}
+}
+
+func TestResumeEmitsResumeEventAndContinues(t *testing.T) {
+	const k = 2
+	defRef, guideRef, _ := runToBytes(t, design(t, 61), k, quickConfig(), nil)
+
+	// First attempt: stop at the boundary after iteration 1.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	first := &Checkpointing{
+		Manager: openManager(t, dir, 0),
+		AfterSave: func(n int) {
+			if n == 2 { // post-GR save is n==1; iteration 1's is n==2
+				cancel()
+			}
+		},
+	}
+	var sink bytes.Buffer
+	if _, err := RunCRPCheckpointed(ctx, design(t, 61), k, quickConfig(), first, &sink, &sink); err != nil {
+		t.Fatal(err)
+	}
+
+	second := &Checkpointing{Manager: openManager(t, dir, 0)}
+	evs := collectEvents(second)
+	var def, guide bytes.Buffer
+	if _, err := Resume(context.Background(), design(t, 61), k, quickConfig(), second, &def, &guide); err != nil {
+		t.Fatal(err)
+	}
+	if len(*evs) == 0 || (*evs)[0].Kind != "resume" || (*evs)[0].Iter != 1 {
+		t.Fatalf("resume events = %+v, want leading resume at iter 1", *evs)
+	}
+	for _, e := range (*evs)[1:] {
+		if e.Kind != "iteration" {
+			t.Errorf("unexpected post-resume event %+v", e)
+		}
+	}
+	if !bytes.Equal(def.Bytes(), defRef) || !bytes.Equal(guide.Bytes(), guideRef) {
+		t.Fatal("resumed outputs differ from uninterrupted run")
+	}
+}
+
+func TestCheckpointOutputsMatchesFinalRun(t *testing.T) {
+	// The final checkpoint followed by output rendering must equal the
+	// run's own outputs: detailed routing evaluates but does not mutate
+	// design state, so the last boundary IS the final placement.
+	const k = 2
+	dir := t.TempDir()
+	ck := &Checkpointing{Manager: openManager(t, dir, 0)}
+	defRef, guideRef, _ := runToBytes(t, design(t, 62), k, quickConfig(), ck)
+
+	defB, guideB, iter, err := CheckpointOutputs(design(t, 62), k, quickConfig(), openManager(t, dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter != k {
+		t.Fatalf("best-so-far iter = %d, want %d", iter, k)
+	}
+	if !bytes.Equal(defB, defRef) || !bytes.Equal(guideB, guideRef) {
+		t.Fatal("checkpoint-rendered outputs differ from the run's outputs")
+	}
+
+	if _, _, _, err := CheckpointOutputs(design(t, 62), k, quickConfig(), nil); err == nil {
+		t.Fatal("nil manager must be refused")
+	}
+	if _, _, _, err := CheckpointOutputs(design(t, 62), k, quickConfig(), openManager(t, t.TempDir(), 0)); err == nil {
+		t.Fatal("empty checkpoint dir must surface ErrNoCheckpoint")
+	}
+}
+
+func TestCancelledIterationIsNotCheckpointed(t *testing.T) {
+	// Cancel DURING iteration 2 (via the engine's post-update hook): the
+	// interrupted iteration's state is timing-dependent, so the loop must
+	// not commit it. The newest checkpoint stays at iteration 1, and a
+	// resume from it reproduces the uninterrupted run byte for byte.
+	const k = 2
+	defRef, guideRef, _ := runToBytes(t, design(t, 63), k, quickConfig(), nil)
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := quickConfig()
+	calls := 0
+	cfg.CRP.Hooks.PostUD = func(iter int) {
+		if calls++; calls == 2 {
+			cancel()
+		}
+	}
+	ck := &Checkpointing{Manager: openManager(t, dir, 0)}
+	evs := collectEvents(ck)
+	var sink bytes.Buffer
+	if _, err := RunCRPCheckpointed(ctx, design(t, 63), k, cfg, ck, &sink, &sink); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := checkpoint.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest, _, err := mgr.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest.Iter != 1 {
+		t.Fatalf("newest checkpoint is iter %d, want 1 (cancelled iteration must not commit)", latest.Iter)
+	}
+	for _, e := range *evs {
+		if e.Kind == "iteration" && e.Iter == 2 {
+			t.Fatalf("cancelled iteration emitted a progress event: %+v", e)
+		}
+	}
+
+	var def, guide bytes.Buffer
+	resumed := &Checkpointing{Manager: openManager(t, dir, 0)}
+	if _, err := Resume(context.Background(), design(t, 63), k, quickConfig(), resumed, &def, &guide); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(def.Bytes(), defRef) || !bytes.Equal(guide.Bytes(), guideRef) {
+		t.Fatal("resume after mid-iteration cancellation diverges from uninterrupted run")
+	}
+}

@@ -1,0 +1,262 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/flow"
+	"github.com/crp-eda/crp/internal/ispd"
+	"github.com/crp-eda/crp/internal/lefdef"
+)
+
+// State is the lifecycle state of a job. Transitions:
+//
+//	queued → running → done
+//	                 ↘ failed
+//	running → queued      (checkpoint-backed preemption or daemon drain)
+//	queued|running → cancelled
+//
+// The queued←running cycle is the preemption/migration loop: a preempted
+// job keeps its checkpoint directory, so whichever worker slot picks it up
+// next resumes from the last committed snapshot, losing at most one
+// iteration.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether a state admits no further transitions.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Spec is one job submission: the design — inline LEF/DEF text or a
+// synthetic ispd generator spec — plus the CR&P parameters and the per-job
+// budgets. The same spec always produces the same outputs, byte for byte,
+// no matter how often the job is preempted, killed or migrated.
+type Spec struct {
+	// Tenant attributes the job for admission control and fairness;
+	// empty means "default".
+	Tenant string `json:"tenant,omitempty"`
+
+	// LEF and DEF carry the design inline as text. Alternatively,
+	// Synthetic names a deterministic ispd generator spec (the service
+	// doubles as a benchmark-workload driver); exactly one of the two
+	// forms must be present.
+	LEF       string     `json:"lef,omitempty"`
+	DEF       string     `json:"def,omitempty"`
+	Synthetic *ispd.Spec `json:"synthetic,omitempty"`
+
+	// K is the CR&P iteration count (0: the flow default of 10).
+	K int `json:"k,omitempty"`
+	// Gamma is the critical-set fraction (0: the paper default 0.6).
+	Gamma float64 `json:"gamma,omitempty"`
+	// Seed drives the selection randomness (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Workers sizes the engine's parallel phases. In a multi-tenant
+	// daemon a job must not grab the whole machine, so 0 means 2 here,
+	// not GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// ShardRegions enables region-sharded iterations when > 0.
+	ShardRegions int `json:"shard_regions,omitempty"`
+
+	// Per-job budgets in milliseconds, mapped onto flow.Budgets
+	// (0: unlimited). Admission pressure never shrinks these: a job
+	// admitted with a budget keeps it for every attempt.
+	FlowBudgetMS      int64 `json:"flow_budget_ms,omitempty"`
+	IterationBudgetMS int64 `json:"iteration_budget_ms,omitempty"`
+	ILPBudgetMS       int64 `json:"ilp_budget_ms,omitempty"`
+	DRBudgetMS        int64 `json:"dr_budget_ms,omitempty"`
+}
+
+// Validate rejects malformed specs at admission time, before any queue
+// slot is consumed.
+func (sp *Spec) Validate() error {
+	inline := sp.LEF != "" || sp.DEF != ""
+	if inline && (sp.LEF == "" || sp.DEF == "") {
+		return errors.New("inline submission needs both lef and def")
+	}
+	if inline && sp.Synthetic != nil {
+		return errors.New("submit either inline lef/def or a synthetic spec, not both")
+	}
+	if !inline && sp.Synthetic == nil {
+		return errors.New("submission carries no design (lef/def or synthetic)")
+	}
+	if sp.K < 0 || sp.Gamma < 0 || sp.Gamma > 1 {
+		return errors.New("k must be >= 0 and gamma in [0, 1]")
+	}
+	return nil
+}
+
+// FlowConfig maps the spec onto the flow configuration its attempts run
+// under. The mapping is pure: reference runs in tests call it to reproduce
+// a job's exact configuration.
+func (sp *Spec) FlowConfig() flow.Config {
+	cfg := flow.DefaultConfig()
+	if sp.K > 0 {
+		cfg.CRP.Iterations = sp.K
+	}
+	if sp.Gamma > 0 {
+		cfg.CRP.Gamma = sp.Gamma
+	}
+	if sp.Seed != 0 {
+		cfg.CRP.Seed = sp.Seed
+	}
+	cfg.CRP.Workers = sp.Workers
+	if cfg.CRP.Workers <= 0 {
+		cfg.CRP.Workers = 2
+	}
+	cfg.CRP.ShardRegions = sp.ShardRegions
+	cfg.Budgets = flow.Budgets{
+		Flow:         time.Duration(sp.FlowBudgetMS) * time.Millisecond,
+		CRPIteration: time.Duration(sp.IterationBudgetMS) * time.Millisecond,
+		ILP:          time.Duration(sp.ILPBudgetMS) * time.Millisecond,
+		DR:           time.Duration(sp.DRBudgetMS) * time.Millisecond,
+	}
+	return cfg
+}
+
+// Design produces the job's input design: parsed from the inline LEF/DEF
+// text or generated from the synthetic spec. Both paths are deterministic,
+// so every attempt — possibly in a different process — sees identical
+// input.
+func (sp *Spec) Design() (*db.Design, error) {
+	if sp.Synthetic != nil {
+		return ispd.Generate(*sp.Synthetic)
+	}
+	t, macros, err := lefdef.ParseLEF(strings.NewReader(sp.LEF))
+	if err != nil {
+		return nil, fmt.Errorf("parsing lef: %w", err)
+	}
+	d, err := lefdef.ParseDEF(strings.NewReader(sp.DEF), t, macros)
+	if err != nil {
+		return nil, fmt.Errorf("parsing def: %w", err)
+	}
+	return d, nil
+}
+
+// tenant returns the admission tenant, defaulted.
+func (sp *Spec) tenant() string {
+	if sp.Tenant == "" {
+		return "default"
+	}
+	return sp.Tenant
+}
+
+// Metrics is the job-level result summary (the full eval.Metrics carries
+// per-net slices too heavy for a status endpoint).
+type Metrics struct {
+	WirelengthDBU int64   `json:"wirelength_dbu"`
+	Vias          int64   `json:"vias"`
+	Score         float64 `json:"score"`
+	Truncated     bool    `json:"truncated,omitempty"`
+}
+
+// result is the persisted outcome of a completed job (result.json in the
+// job directory), written atomically by the worker attempt that finished
+// the run.
+type result struct {
+	Metrics      Metrics  `json:"metrics"`
+	Iterations   int      `json:"iterations"`
+	TotalMoved   int      `json:"total_moved"`
+	Degradations []string `json:"degradations,omitempty"`
+}
+
+// Job is one unit of admitted work. Mutable fields are guarded by mu;
+// the spec, ID, sequence number and directory are immutable after
+// admission.
+type Job struct {
+	ID   string
+	Seq  int
+	Spec Spec
+	Dir  string
+
+	hub hub // event-stream wakeups for this job
+
+	mu          sync.Mutex
+	state       State
+	attempts    int
+	preemptions int
+	workerPID   int
+	errMsg      string
+	// preempt cancels the running attempt's supervision context; nil
+	// unless running. reason records why ("preempt", "drain", "cancel")
+	// so the pool can requeue vs. terminate accordingly.
+	preempt       func()
+	preemptReason string
+}
+
+// Status is the externally visible job state (GET /v1/jobs/{id}).
+type Status struct {
+	ID          string   `json:"id"`
+	Tenant      string   `json:"tenant"`
+	State       State    `json:"state"`
+	Iter        int      `json:"iter"`
+	K           int      `json:"k"`
+	TotalMoved  int      `json:"total_moved,omitempty"`
+	Attempts    int      `json:"attempts"`
+	Preemptions int      `json:"preemptions,omitempty"`
+	WorkerPID   int      `json:"worker_pid,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	Metrics     *Metrics `json:"metrics,omitempty"`
+}
+
+// jobRecord is the persisted control-plane state (state.json), written
+// atomically on every transition so a restarted daemon can rebuild its
+// queue: queued and running jobs are requeued (their checkpoints carry the
+// data plane), terminal jobs stay terminal with their outputs fetchable.
+type jobRecord struct {
+	ID          string `json:"id"`
+	Seq         int    `json:"seq"`
+	State       State  `json:"state"`
+	Attempts    int    `json:"attempts"`
+	Preemptions int    `json:"preemptions"`
+	Error       string `json:"error,omitempty"`
+}
+
+func (j *Job) record() jobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobRecord{
+		ID: j.ID, Seq: j.Seq, State: j.state,
+		Attempts: j.attempts, Preemptions: j.preemptions, Error: j.errMsg,
+	}
+}
+
+// snapshot returns the in-memory half of the job's status; the store fills
+// in journal-derived progress.
+func (j *Job) snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:          j.ID,
+		Tenant:      j.Spec.tenant(),
+		State:       j.state,
+		Attempts:    j.attempts,
+		Preemptions: j.preemptions,
+		WorkerPID:   j.workerPID,
+		Error:       j.errMsg,
+	}
+}
+
+func (j *Job) currentState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *Job) setPID(pid int) {
+	j.mu.Lock()
+	j.workerPID = pid
+	j.mu.Unlock()
+}

@@ -1,0 +1,226 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/crp-eda/crp/internal/flow"
+	"github.com/crp-eda/crp/internal/supervise"
+)
+
+// pool is the bounded worker set: Config.Workers goroutines, each claiming
+// one queued job at a time and driving it to a terminal state (or back
+// into the queue on preemption). Every job attempt runs under supervise —
+// a crashed attempt restarts from the job's last checkpoint with backoff,
+// so the retry story inside the daemon is the same self-healing loop
+// cmd/crpd has always offered around it.
+type pool struct {
+	cfg   Config
+	store *store
+	wg    sync.WaitGroup
+}
+
+func newPool(cfg Config, st *store) *pool {
+	return &pool{cfg: cfg, store: st}
+}
+
+func (p *pool) start() {
+	for i := 0; i < p.cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+// wait blocks until every worker has exited (drain must have begun) or
+// ctx expires.
+func (p *pool) wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain timed out: %w", ctx.Err())
+	}
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for {
+		j := p.store.next()
+		if j == nil {
+			return // draining
+		}
+		p.runJob(j)
+	}
+}
+
+// runJob drives one claimed job: supervised attempts until success, the
+// retry cap, or a preemption/cancellation request.
+func (p *pool) runJob(j *Job) {
+	actx, acancel := context.WithCancel(context.Background())
+	defer acancel()
+	j.mu.Lock()
+	j.preempt = acancel
+	j.mu.Unlock()
+	j.hub.notify()
+
+	var lastErr string
+	rep := supervise.RunCtx(actx, supervise.Config{
+		MaxAttempts: p.cfg.RetryCap,
+		BaseBackoff: p.cfg.RetryBackoff,
+		MaxBackoff:  8 * p.cfg.RetryBackoff,
+		JitterSeed:  int64(j.Seq),
+		OnAttempt: func(at supervise.Attempt) {
+			if at.Err != "" {
+				lastErr = fmt.Sprintf("attempt %d exited %d: %s", at.N, at.ExitCode, at.Err)
+			}
+		},
+	}, func(n int) (int, error) {
+		j.mu.Lock()
+		j.attempts++
+		attempt := j.attempts
+		j.mu.Unlock()
+		p.publish(j, Event{Kind: "attempt", Attempt: attempt})
+		code := p.runAttempt(actx, j, attempt)
+		if code != 0 {
+			return code, fmt.Errorf("worker attempt %d failed (code %d)", attempt, code)
+		}
+		return 0, nil
+	})
+
+	switch {
+	case rep.Succeeded:
+		p.publish(j, Event{Kind: "done"})
+		p.store.release(j, StateDone, "")
+	case actx.Err() != nil:
+		j.mu.Lock()
+		reason := j.preemptReason
+		j.mu.Unlock()
+		if reason == "cancel" {
+			p.publish(j, Event{Kind: "cancelled"})
+			p.store.release(j, StateCancelled, "")
+		} else {
+			// Preemption or drain: back into the queue; the checkpoint
+			// directory carries the job to its next worker slot.
+			p.publish(j, Event{Kind: "requeued", Detail: reason})
+			p.store.release(j, StateQueued, "")
+		}
+	default:
+		p.publish(j, Event{Kind: "failed", Detail: lastErr})
+		p.store.release(j, StateFailed, lastErr)
+	}
+}
+
+// runAttempt executes one attempt in the configured isolation mode.
+func (p *pool) runAttempt(ctx context.Context, j *Job, attempt int) int {
+	if len(p.cfg.Exec) > 0 {
+		return p.runChildAttempt(ctx, j, attempt)
+	}
+	return p.runInProcAttempt(ctx, j, attempt)
+}
+
+// runInProcAttempt runs the attempt on this goroutine. A panic that
+// escapes the flow's own quarantines (or is injected by the chaos seam)
+// fails only this attempt — the worker and the daemon survive, and the
+// next attempt resumes from the checkpoint.
+func (p *pool) runInProcAttempt(ctx context.Context, j *Job, attempt int) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.publish(j, Event{Kind: "degradation", Attempt: attempt,
+				Stage: "service", Fault: "worker-panic", Detail: fmt.Sprint(r)})
+			code = exitFailure
+		}
+	}()
+	env := attemptEnv{
+		dir:     j.Dir,
+		attempt: attempt,
+		grace:   p.cfg.DrainGrace,
+		publish: func(e Event) { p.publish(j, e) },
+	}
+	if p.cfg.Instrument != nil {
+		env.instrument = func(cfg *flow.Config, ck *flow.Checkpointing) {
+			p.cfg.Instrument(j.ID, attempt, cfg, ck)
+		}
+	}
+	return runFlowAttempt(ctx, env)
+}
+
+// runChildAttempt execs the attempt as an isolated worker process
+// (Config.Exec + CRPD_RUN_JOB). Preemption sends SIGTERM — the child stops
+// at its next checkpoint boundary and exits ExitPreempted — escalating to
+// SIGKILL after the grace. A child killed outright (chaos, OOM) surfaces
+// as a failed attempt and resumes from its checkpoint on retry.
+func (p *pool) runChildAttempt(ctx context.Context, j *Job, attempt int) int {
+	cmd := exec.Command(p.cfg.Exec[0], p.cfg.Exec[1:]...)
+	cmd.Env = append(os.Environ(),
+		EnvRunJob+"="+j.Dir,
+		fmt.Sprintf("%s=%d", EnvAttempt, attempt),
+		EnvGrace+"="+p.cfg.DrainGrace.String(),
+	)
+	logf, err := os.OpenFile(j.Dir+"/worker.log", os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o666)
+	if err == nil {
+		defer logf.Close()
+		cmd.Stdout, cmd.Stderr = logf, logf
+	}
+	if err := cmd.Start(); err != nil {
+		p.publish(j, Event{Kind: "degradation", Attempt: attempt,
+			Stage: "service", Fault: "worker-spawn-failed", Detail: err.Error()})
+		return exitFailure
+	}
+	j.setPID(cmd.Process.Pid)
+	j.hub.notify()
+	defer j.setPID(0)
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	killer := make(chan struct{})
+	defer close(killer)
+	go func() {
+		select {
+		case <-ctx.Done():
+			cmd.Process.Signal(syscall.SIGTERM)
+			t := time.NewTimer(p.cfg.DrainGrace + time.Second)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				cmd.Process.Kill()
+			case <-killer:
+			}
+		case <-killer:
+		}
+	}()
+	err = <-waitErr
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		if code := ee.ExitCode(); code > 0 {
+			return code
+		}
+	}
+	// Killed by signal (SIGKILL chaos / OOM): during preemption treat it
+	// as the preempted exit, otherwise as a retryable crash.
+	if ctx.Err() != nil {
+		return ExitPreempted
+	}
+	p.publish(j, Event{Kind: "degradation", Attempt: attempt,
+		Stage: "service", Fault: "worker-killed", Detail: err.Error()})
+	return exitFailure
+}
+
+// publish journals an event for j and wakes its streamers.
+func (p *pool) publish(j *Job, e Event) {
+	if err := appendEvent(j.Dir, e); err != nil {
+		fmt.Fprintf(os.Stderr, "service: journaling %s event for %s: %v\n", e.Kind, j.ID, err)
+	}
+	j.hub.notify()
+}

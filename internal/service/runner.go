@@ -1,0 +1,221 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+
+	"github.com/crp-eda/crp/internal/atomicio"
+	"github.com/crp-eda/crp/internal/checkpoint"
+	"github.com/crp-eda/crp/internal/flow"
+)
+
+// Worker attempt exit protocol. In child-process mode these are real
+// process exit codes; in in-process mode the same codes flow through the
+// supervise.Job return value, so the pool handles both modes identically.
+const (
+	// ExitPreempted reports a checkpoint-backed preemption: the attempt
+	// stopped at a snapshot boundary on request and wrote no outputs. The
+	// job must be requeued, not retried or failed.
+	ExitPreempted = 44
+	// exitFailure is an ordinary failed attempt (retry from checkpoint).
+	exitFailure = 1
+)
+
+// Environment of a child worker process (see RunWorkerAttempt).
+const (
+	// EnvRunJob carries the job directory; its presence turns a crpd (or
+	// test binary) invocation into a single-attempt worker process.
+	EnvRunJob = "CRPD_RUN_JOB"
+	// EnvAttempt carries the 1-based attempt number for event attribution.
+	EnvAttempt = "CRPD_ATTEMPT"
+	// EnvGrace carries the preemption grace (time.Duration string) after
+	// which a stop request stops waiting for a checkpoint boundary.
+	EnvGrace = "CRPD_GRACE"
+)
+
+// attemptEnv is everything one worker attempt needs beyond the job
+// directory contents.
+type attemptEnv struct {
+	dir     string
+	attempt int
+	// grace bounds how long a preemption request waits for the next
+	// checkpoint boundary before hard-cancelling the flow (a stage that
+	// commits no checkpoints — GR, DR — would otherwise stall a drain).
+	grace time.Duration
+	// instrument, when non-nil, may rewrite the attempt's flow config and
+	// checkpointing before the run — the service-level chaos seam.
+	instrument func(*flow.Config, *flow.Checkpointing)
+	// publish journals one event (and, in-process, wakes streamers).
+	publish func(Event)
+}
+
+// runFlowAttempt executes one resume-or-start attempt of the job in
+// env.dir: parse or generate the design, open the per-job checkpoint
+// manager, run the checkpointed flow with every progress point journaled,
+// and commit outputs atomically on completion.
+//
+// ctx is the preemption channel, not the flow's context: a cancellation
+// only takes effect at the next checkpoint boundary (via AfterSave), or
+// after env.grace for boundary-free stages — so a preempted attempt never
+// journals a timing-dependent rollback and resume stays bit-identical.
+func runFlowAttempt(ctx context.Context, env attemptEnv) int {
+	spec, err := loadSpec(env.dir)
+	if err != nil {
+		return failAttempt(env, fmt.Errorf("loading spec: %w", err))
+	}
+	d, err := spec.Design()
+	if err != nil {
+		return failAttempt(env, fmt.Errorf("building design: %w", err))
+	}
+	mgr, err := checkpoint.Open(filepath.Join(env.dir, "ckpt"), 0)
+	if err != nil {
+		return failAttempt(env, fmt.Errorf("opening checkpoints: %w", err))
+	}
+
+	// fctx is the context the flow actually runs under. It is decoupled
+	// from ctx so that preemption is boundary-gated: AfterSave trips it at
+	// the first checkpoint commit past the request, and the grace watchdog
+	// trips it when no boundary arrives in time.
+	fctx, fcancel := context.WithCancel(context.Background())
+	defer fcancel()
+	go func() {
+		select {
+		case <-ctx.Done():
+			t := time.NewTimer(env.grace)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				fcancel()
+			case <-fctx.Done():
+			}
+		case <-fctx.Done():
+		}
+	}()
+
+	cfg := spec.FlowConfig()
+	ck := &flow.Checkpointing{
+		Manager: mgr,
+		AfterSave: func(int) {
+			if ctx.Err() != nil {
+				fcancel()
+			}
+		},
+		OnEvent: func(e flow.Event) { env.publish(flowEvent(e, env.attempt)) },
+	}
+	if env.instrument != nil {
+		env.instrument(&cfg, ck)
+	}
+
+	var def, guide bytes.Buffer
+	res, err := flow.Resume(fctx, d, 0, cfg, ck, &def, &guide)
+	if errors.Is(err, flow.ErrNoCheckpoint) {
+		res, err = flow.RunCRPCheckpointed(fctx, d, 0, cfg, ck, &def, &guide)
+	}
+	if ctx.Err() != nil {
+		// Preempted: the last committed snapshot is the hand-off point;
+		// the partial outputs of this attempt are discarded.
+		env.publish(Event{Kind: "preempted", Attempt: env.attempt})
+		return ExitPreempted
+	}
+	if err != nil {
+		return failAttempt(env, err)
+	}
+
+	out := result{
+		Metrics: Metrics{
+			WirelengthDBU: res.Metrics.WirelengthDBU,
+			Vias:          res.Metrics.Vias,
+			Score:         res.Metrics.Score,
+			Truncated:     res.Metrics.Truncated,
+		},
+		TotalMoved: res.CRPStats.TotalMoved,
+		Iterations: len(res.CRPStats.Iterations),
+	}
+	for _, dg := range res.Degradations {
+		out.Degradations = append(out.Degradations, dg.String())
+	}
+	if err := commitResult(env.dir, out, def.Bytes(), guide.Bytes()); err != nil {
+		return failAttempt(env, fmt.Errorf("committing outputs: %w", err))
+	}
+	return 0
+}
+
+// failAttempt journals an attempt failure and returns the retryable code.
+func failAttempt(env attemptEnv, err error) int {
+	env.publish(Event{Kind: "degradation", Attempt: env.attempt,
+		Stage: "service", Fault: "attempt-failed", Detail: err.Error()})
+	return exitFailure
+}
+
+// commitResult atomically writes the job's final outputs and result
+// summary. Each file commits independently via temp+fsync+rename; the
+// result.json write is last, so its presence implies complete outputs.
+func commitResult(dir string, out result, defB, guideB []byte) error {
+	if err := atomicio.WriteFileBytes(filepath.Join(dir, "out.def"), defB); err != nil {
+		return err
+	}
+	if err := atomicio.WriteFileBytes(filepath.Join(dir, "out.guide"), guideB); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFileBytes(filepath.Join(dir, "result.json"), data)
+}
+
+func loadSpec(dir string) (*Spec, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+	if err != nil {
+		return nil, err
+	}
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// RunWorkerAttempt is the child-process worker entry point: crpd (and the
+// service test binary) re-exec themselves with CRPD_RUN_JOB=<dir> to run
+// exactly one attempt in an isolated process, so a worker crash — real
+// SIGKILL included — can never take the daemon or its other jobs down.
+// SIGTERM requests a checkpoint-backed preemption (exit ExitPreempted).
+// The returned value is the process exit code.
+func RunWorkerAttempt(dir string) int {
+	attempt, _ := strconv.Atoi(os.Getenv(EnvAttempt))
+	if attempt <= 0 {
+		attempt = 1
+	}
+	grace := 10 * time.Second
+	if g, err := time.ParseDuration(os.Getenv(EnvGrace)); err == nil && g > 0 {
+		grace = g
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		select {
+		case <-sig:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return runFlowAttempt(ctx, attemptEnv{
+		dir:     dir,
+		attempt: attempt,
+		grace:   grace,
+		publish: func(e Event) { appendEvent(dir, e) },
+	})
+}

@@ -1,0 +1,174 @@
+// Package service is the multi-tenant CR&P job daemon behind cmd/crpd: a
+// long-running composition of the repo's robustness primitives into a
+// serving system. Jobs — LEF/DEF (or synthetic) designs plus CR&P
+// parameters — are admitted into an explicitly bounded queue, executed by
+// a bounded worker pool under per-job flow.Budgets with per-job crash-safe
+// checkpoint directories, and observable over an HTTP/JSON API that
+// streams per-iteration progress and degradation events.
+//
+// The contract every fault-tolerance feature hangs off: a job's outputs
+// are a pure function of its spec. Preemption, worker crashes (in-process
+// panics or SIGKILLed child processes), daemon restarts and migration
+// between worker slots all funnel through checkpoint/resume, which is
+// bit-identical to an uninterrupted run — so the service-level chaos suite
+// can assert byte equality, not just liveness.
+//
+// Overload is explicit, never degenerate: submissions beyond the queue
+// capacity or a tenant's cap are rejected with structured 429-class
+// errors and leave no state behind; running jobs keep the budgets they
+// were admitted with; a draining daemon checkpoints every in-flight job
+// (preempting at snapshot boundaries) before its workers exit.
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/crp-eda/crp/internal/flow"
+)
+
+// Config tunes the daemon. The zero value is not runnable; use
+// (Config).withDefaults via New.
+type Config struct {
+	// DataDir holds one subdirectory per job: spec, state, checkpoint
+	// directory, event journal, outputs. It is the recovery root a
+	// restarted daemon rebuilds its queue from.
+	DataDir string
+	// Workers bounds concurrently running jobs (default 2).
+	Workers int
+	// QueueCap bounds the waiting queue; submissions beyond it are
+	// rejected with a structured queue_full error (default 16).
+	QueueCap int
+	// TenantMaxActive caps one tenant's queued+running jobs at admission
+	// (default QueueCap+Workers: effectively no per-tenant admission cap).
+	TenantMaxActive int
+	// TenantMaxRunning caps one tenant's concurrently running jobs at
+	// scheduling time (default Workers: no cap below the pool size).
+	TenantMaxRunning int
+	// RetryCap is the supervised attempt cap per job activation
+	// (default 3). Preemptions do not consume attempts.
+	RetryCap int
+	// RetryBackoff is the base backoff between failed attempts
+	// (default 250ms; doubled per retry, capped at 8x).
+	RetryBackoff time.Duration
+	// DrainGrace bounds how long a preemption request waits for the next
+	// checkpoint boundary before hard-cancelling the attempt (default 10s).
+	DrainGrace time.Duration
+	// Exec, when non-empty, runs every attempt as an isolated child
+	// process: the argv is executed with CRPD_RUN_JOB=<jobdir> in its
+	// environment (cmd/crpd passes its own binary). Empty runs attempts
+	// in-process.
+	Exec []string
+	// Instrument, when non-nil, may rewrite each in-process attempt's
+	// flow config and checkpointing before it runs — the chaos-test seam
+	// for injecting faults into a specific job's specific attempt. Not
+	// applied in Exec mode (child processes are instrumented by killing
+	// them, which needs no seam).
+	Instrument func(jobID string, attempt int, cfg *flow.Config, ck *flow.Checkpointing)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 16
+	}
+	if c.TenantMaxActive <= 0 {
+		c.TenantMaxActive = c.QueueCap + c.Workers
+	}
+	if c.TenantMaxRunning <= 0 {
+		c.TenantMaxRunning = c.Workers
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 10 * time.Second
+	}
+	return c
+}
+
+// Service is one running daemon instance.
+type Service struct {
+	cfg   Config
+	store *store
+	pool  *pool
+}
+
+// New builds a service on cfg.DataDir, recovers any jobs a previous
+// daemon left behind (queued and running jobs re-enter the queue and
+// resume from their checkpoints), and starts the worker pool.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("service: Config.DataDir is required")
+	}
+	st := newStore(cfg)
+	if _, err := st.recover(); err != nil {
+		return nil, fmt.Errorf("service: recovering %s: %w", cfg.DataDir, err)
+	}
+	s := &Service{cfg: cfg, store: st, pool: newPool(cfg, st)}
+	s.pool.start()
+	return s, nil
+}
+
+// Submit admits a job (or rejects it with a structured *APIError).
+func (s *Service) Submit(spec Spec) (Status, error) {
+	j, err := s.store.submit(spec)
+	if err != nil {
+		return Status{}, err
+	}
+	return s.store.status(j), nil
+}
+
+// Status returns a job's current status.
+func (s *Service) Status(id string) (Status, error) {
+	j, err := s.store.get(id)
+	if err != nil {
+		return Status{}, err
+	}
+	return s.store.status(j), nil
+}
+
+// List returns every known job, newest first.
+func (s *Service) List() []Status { return s.store.list() }
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats { return s.store.stats() }
+
+// Preempt requests a checkpoint-backed preemption of a running job: it
+// stops at its next snapshot boundary, requeues, and resumes on any free
+// worker slot, losing at most one iteration.
+func (s *Service) Preempt(id string) error {
+	j, err := s.store.get(id)
+	if err != nil {
+		return err
+	}
+	return s.store.preemptJob(j, "preempt")
+}
+
+// Cancel terminates a job. A running job stops at its next checkpoint
+// boundary (bounded by DrainGrace); a queued job is cancelled in place.
+func (s *Service) Cancel(id string) error {
+	j, err := s.store.get(id)
+	if err != nil {
+		return err
+	}
+	return s.store.preemptJob(j, "cancel")
+}
+
+// Drain gracefully shuts the service down: admission closes (submissions
+// get a structured draining error), every running job is preempted at its
+// next checkpoint boundary and persisted back into the queue, and the
+// call returns when all workers have exited or ctx expires. After a clean
+// drain, a new Service on the same DataDir resumes every unfinished job
+// from its checkpoints.
+func (s *Service) Drain(ctx context.Context) error {
+	s.store.beginDrain()
+	return s.pool.wait(ctx)
+}

@@ -1,0 +1,486 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/crp-eda/crp/internal/atomicio"
+)
+
+// APIError is a structured rejection: the admission layer returns it and
+// the HTTP layer serializes it verbatim, so orchestrators can branch on
+// Code instead of parsing prose. Status is the HTTP mapping (429 for
+// overload, 503 for drain, 4xx for bad requests).
+type APIError struct {
+	Status     int    `json:"-"`
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	QueueDepth int    `json:"queue_depth,omitempty"`
+	QueueCap   int    `json:"queue_cap,omitempty"`
+	Tenant     string `json:"tenant,omitempty"`
+	Limit      int    `json:"limit,omitempty"`
+}
+
+func (e *APIError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+func errQueueFull(depth, cap int) *APIError {
+	return &APIError{
+		Status: http.StatusTooManyRequests, Code: "queue_full",
+		Message:    "job queue is at capacity; retry with backoff",
+		QueueDepth: depth, QueueCap: cap,
+	}
+}
+
+func errTenantLimit(tenant string, limit int) *APIError {
+	return &APIError{
+		Status: http.StatusTooManyRequests, Code: "tenant_limit",
+		Message: "tenant is at its active-job cap; retry when jobs finish",
+		Tenant:  tenant, Limit: limit,
+	}
+}
+
+func errDraining() *APIError {
+	return &APIError{
+		Status: http.StatusServiceUnavailable, Code: "draining",
+		Message: "daemon is draining; submissions are closed",
+	}
+}
+
+func errNotFound(id string) *APIError {
+	return &APIError{
+		Status: http.StatusNotFound, Code: "not_found",
+		Message: "no such job: " + id,
+	}
+}
+
+func errBadSpec(msg string) *APIError {
+	return &APIError{Status: http.StatusBadRequest, Code: "bad_spec", Message: msg}
+}
+
+func errConflict(msg string) *APIError {
+	return &APIError{Status: http.StatusConflict, Code: "conflict", Message: msg}
+}
+
+// store owns the job table and the admission-controlled queue. The queue
+// is explicitly bounded: a submission beyond capacity is rejected with a
+// structured error and leaves no trace, so overload cannot grow memory
+// without bound. Fairness is two-layered — an admission cap on each
+// tenant's active (queued+running) jobs, and a scheduling cap on each
+// tenant's concurrently running jobs.
+type store struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*Job
+	queue    []*Job // admitted, waiting; kept in Seq order
+	running  map[string]*Job
+	seq      int
+	draining bool
+	drainCh  chan struct{} // closed when draining starts; wakes streamers
+}
+
+func newStore(cfg Config) *store {
+	st := &store{
+		cfg:     cfg,
+		jobs:    make(map[string]*Job),
+		running: make(map[string]*Job),
+		drainCh: make(chan struct{}),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// submit admits a job or rejects it with a structured *APIError. On
+// success the job directory exists with spec.json, state.json and a
+// "submitted" journal event — enough for a restarted daemon to recover it.
+func (st *store) submit(spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, errBadSpec(err.Error())
+	}
+	st.mu.Lock()
+	if st.draining {
+		st.mu.Unlock()
+		return nil, errDraining()
+	}
+	if len(st.queue) >= st.cfg.QueueCap {
+		depth := len(st.queue)
+		st.mu.Unlock()
+		return nil, errQueueFull(depth, st.cfg.QueueCap)
+	}
+	tenant := spec.tenant()
+	if st.activeLocked(tenant) >= st.cfg.TenantMaxActive {
+		st.mu.Unlock()
+		return nil, errTenantLimit(tenant, st.cfg.TenantMaxActive)
+	}
+	st.seq++
+	j := &Job{
+		ID:    fmt.Sprintf("j%06d", st.seq),
+		Seq:   st.seq,
+		Spec:  spec,
+		Dir:   filepath.Join(st.cfg.DataDir, fmt.Sprintf("j%06d", st.seq)),
+		state: StateQueued,
+	}
+	// Register (so concurrent admission checks count the job) but do NOT
+	// enqueue yet: a worker must never claim a job whose spec.json is not
+	// on disk.
+	st.jobs[j.ID] = j
+	st.mu.Unlock()
+
+	if err := st.persistSubmit(j); err != nil {
+		// Roll the admission back: a job we cannot persist cannot be
+		// recovered after a crash, so refusing it is the honest answer.
+		st.mu.Lock()
+		delete(st.jobs, j.ID)
+		st.mu.Unlock()
+		return nil, &APIError{Status: http.StatusInternalServerError,
+			Code: "persist_failed", Message: err.Error()}
+	}
+	st.mu.Lock()
+	if j.currentState() == StateQueued { // not cancelled while persisting
+		st.queue = append(st.queue, j)
+	}
+	st.mu.Unlock()
+	st.cond.Broadcast()
+	return j, nil
+}
+
+func (st *store) persistSubmit(j *Job) error {
+	if err := os.MkdirAll(j.Dir, 0o777); err != nil {
+		return err
+	}
+	spec, err := json.Marshal(j.Spec)
+	if err != nil {
+		return err
+	}
+	if err := atomicio.WriteFileBytes(filepath.Join(j.Dir, "spec.json"), spec); err != nil {
+		return err
+	}
+	if err := st.persistState(j); err != nil {
+		return err
+	}
+	return appendEvent(j.Dir, Event{Kind: "submitted", K: j.Spec.K})
+}
+
+// persistState atomically rewrites the job's control-plane record.
+func (st *store) persistState(j *Job) error {
+	rec, err := json.Marshal(j.record())
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFileBytes(filepath.Join(j.Dir, "state.json"), rec)
+}
+
+// activeLocked counts a tenant's non-terminal jobs.
+func (st *store) activeLocked(tenant string) int {
+	n := 0
+	for _, j := range st.jobs {
+		if j.Spec.tenant() == tenant && !j.currentState().terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// runningLocked counts a tenant's currently running jobs.
+func (st *store) runningLocked(tenant string) int {
+	n := 0
+	for _, j := range st.running {
+		if j.Spec.tenant() == tenant {
+			n++
+		}
+	}
+	return n
+}
+
+func (st *store) dequeueLocked(j *Job) {
+	for i, q := range st.queue {
+		if q == j {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// next blocks until a runnable job exists and claims it, or returns nil
+// when the store is draining. Claiming scans the queue in admission order
+// but skips jobs whose tenant is at its running cap — a saturated tenant
+// cannot starve the others' queued work.
+func (st *store) next() *Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if st.draining {
+			return nil
+		}
+		for _, j := range st.queue {
+			if st.runningLocked(j.Spec.tenant()) >= st.cfg.TenantMaxRunning {
+				continue
+			}
+			st.dequeueLocked(j)
+			j.mu.Lock()
+			j.state = StateRunning
+			j.mu.Unlock()
+			st.running[j.ID] = j
+			return j
+		}
+		st.cond.Wait()
+	}
+}
+
+// release moves a claimed job out of the running set into its next state.
+// For StateQueued (preemption/drain) the job re-enters the queue in its
+// original admission order, so preemption cannot be used to jump the line.
+func (st *store) release(j *Job, next State, errMsg string) {
+	st.mu.Lock()
+	delete(st.running, j.ID)
+	j.mu.Lock()
+	j.state = next
+	j.errMsg = errMsg
+	j.preempt = nil
+	j.preemptReason = ""
+	j.workerPID = 0
+	if next == StateQueued {
+		j.preemptions++
+	}
+	j.mu.Unlock()
+	if next == StateQueued {
+		st.queue = append(st.queue, j)
+		sort.Slice(st.queue, func(a, b int) bool { return st.queue[a].Seq < st.queue[b].Seq })
+	}
+	st.mu.Unlock()
+	if err := st.persistState(j); err != nil {
+		// The in-memory transition already happened; a persist failure
+		// costs recovery fidelity after a crash, not current correctness.
+		appendEvent(j.Dir, Event{Kind: "degradation", Stage: "service",
+			Fault: "state-persist-failed", Detail: err.Error()})
+	}
+	st.cond.Broadcast()
+	j.hub.notify()
+}
+
+// get looks a job up.
+func (st *store) get(id string) (*Job, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return nil, errNotFound(id)
+	}
+	return j, nil
+}
+
+// preempt requests a checkpoint-backed stop of a job. reason "cancel"
+// terminates the job; "preempt" and "drain" requeue it for resume on any
+// free worker slot. A queued job is cancelled directly (nothing to stop);
+// preempting a queued or terminal job is a no-op.
+func (st *store) preemptJob(j *Job, reason string) error {
+	st.mu.Lock()
+	j.mu.Lock()
+	switch j.state {
+	case StateRunning:
+		j.preemptReason = reason
+		cancel := j.preempt
+		j.mu.Unlock()
+		st.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	case StateQueued:
+		if reason != "cancel" {
+			j.mu.Unlock()
+			st.mu.Unlock()
+			return nil
+		}
+		j.state = StateCancelled
+		j.mu.Unlock()
+		st.dequeueLocked(j)
+		st.mu.Unlock()
+		st.persistState(j)
+		appendEvent(j.Dir, Event{Kind: "cancelled"})
+		j.hub.notify()
+		return nil
+	default:
+		state := j.state
+		j.mu.Unlock()
+		st.mu.Unlock()
+		if reason == "cancel" {
+			return errConflict(fmt.Sprintf("job is already %s", state))
+		}
+		return nil
+	}
+}
+
+// beginDrain closes admission and scheduling and asks every running job to
+// preempt at its next checkpoint boundary. Idempotent.
+func (st *store) beginDrain() {
+	st.mu.Lock()
+	if st.draining {
+		st.mu.Unlock()
+		return
+	}
+	st.draining = true
+	close(st.drainCh)
+	running := make([]*Job, 0, len(st.running))
+	for _, j := range st.running {
+		running = append(running, j)
+	}
+	st.mu.Unlock()
+	st.cond.Broadcast()
+	for _, j := range running {
+		st.preemptJob(j, "drain")
+	}
+}
+
+// stats snapshots the service-level counters.
+func (st *store) stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := Stats{
+		QueueDepth: len(st.queue),
+		QueueCap:   st.cfg.QueueCap,
+		Running:    len(st.running),
+		Workers:    st.cfg.Workers,
+		Draining:   st.draining,
+		Tenants:    map[string]TenantStats{},
+		States:     map[State]int{},
+	}
+	for _, j := range st.jobs {
+		state := j.currentState()
+		s.States[state]++
+		ts := s.Tenants[j.Spec.tenant()]
+		if !state.terminal() {
+			ts.Active++
+		}
+		if state == StateRunning {
+			ts.Running++
+		}
+		s.Tenants[j.Spec.tenant()] = ts
+	}
+	return s
+}
+
+// list returns every known job's status, newest first.
+func (st *store) list() []Status {
+	st.mu.Lock()
+	jobs := make([]*Job, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		jobs = append(jobs, j)
+	}
+	st.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].Seq > jobs[b].Seq })
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = st.status(j)
+	}
+	return out
+}
+
+// status assembles a job's full status: in-memory control state plus
+// journal-derived progress and, when done, the persisted result summary.
+func (st *store) status(j *Job) Status {
+	s := j.snapshot()
+	if evs, err := decodeJournal(j.Dir); err == nil {
+		s.Iter, s.K, s.TotalMoved = progress(evs)
+	}
+	if s.K == 0 {
+		s.K = j.Spec.FlowConfig().CRP.Iterations
+	}
+	if s.State == StateDone {
+		if res, err := loadResult(j.Dir); err == nil {
+			m := res.Metrics
+			s.Metrics = &m
+		}
+	}
+	return s
+}
+
+// recover rebuilds the store from a data directory: terminal jobs are
+// re-registered as terminal (outputs stay fetchable), queued and running
+// jobs re-enter the queue — their checkpoint directories make the resume
+// exact. Returns the number of requeued jobs.
+func (st *store) recover() (int, error) {
+	entries, err := os.ReadDir(st.cfg.DataDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	requeued := 0
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		dir := filepath.Join(st.cfg.DataDir, ent.Name())
+		specData, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+		if err != nil {
+			continue // not a job directory
+		}
+		var spec Spec
+		if err := json.Unmarshal(specData, &spec); err != nil {
+			continue
+		}
+		var rec jobRecord
+		if data, err := os.ReadFile(filepath.Join(dir, "state.json")); err == nil {
+			json.Unmarshal(data, &rec)
+		}
+		if rec.ID == "" {
+			rec.ID = ent.Name()
+		}
+		j := &Job{ID: rec.ID, Seq: rec.Seq, Spec: spec, Dir: dir,
+			state: rec.State, attempts: rec.Attempts, preemptions: rec.Preemptions}
+		j.errMsg = rec.Error
+		if !rec.State.terminal() {
+			// A job that was mid-attempt when the daemon died resumes
+			// from its last checkpoint; requeue it.
+			j.state = StateQueued
+			st.queue = append(st.queue, j)
+			requeued++
+		}
+		st.jobs[j.ID] = j
+		if j.Seq > st.seq {
+			st.seq = j.Seq
+		}
+	}
+	sort.Slice(st.queue, func(a, b int) bool { return st.queue[a].Seq < st.queue[b].Seq })
+	return requeued, nil
+}
+
+func loadResult(dir string) (*result, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "result.json"))
+	if err != nil {
+		return nil, err
+	}
+	var res result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Stats is the service-level counter snapshot (GET /v1/stats).
+type Stats struct {
+	QueueDepth int                    `json:"queue_depth"`
+	QueueCap   int                    `json:"queue_cap"`
+	Running    int                    `json:"running"`
+	Workers    int                    `json:"workers"`
+	Draining   bool                   `json:"draining"`
+	Goroutines int                    `json:"goroutines"`
+	Tenants    map[string]TenantStats `json:"tenants,omitempty"`
+	States     map[State]int          `json:"states,omitempty"`
+}
+
+// TenantStats is one tenant's share of the service.
+type TenantStats struct {
+	Active  int `json:"active"`
+	Running int `json:"running"`
+}

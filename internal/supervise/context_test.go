@@ -1,0 +1,91 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The context tests pin the cancellation contract RunCtx adds for daemon
+// shutdown: a cancelled context stops the loop everywhere — before an
+// attempt, after a failed attempt, and mid-backoff — without starting
+// further attempts, and the report says so explicitly.
+
+func TestRunCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	rep := RunCtx(ctx, Config{}, func(n int) (int, error) { ran++; return 0, nil })
+	if ran != 0 || rep.Succeeded || !rep.Cancelled || len(rep.Attempts) != 0 {
+		t.Fatalf("ran=%d report=%+v, want zero attempts and Cancelled", ran, rep)
+	}
+}
+
+func TestRunCtxCancelInterruptsDefaultBackoffSleep(t *testing.T) {
+	// No Sleep seam: the context-aware timer wait must be interruptible.
+	// With an hour of base backoff, only cancellation can end the run
+	// promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rep := RunCtx(ctx, Config{MaxAttempts: 3, BaseBackoff: time.Hour},
+		func(n int) (int, error) { return 1, errors.New("crash") })
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("cancellation took %s to interrupt the backoff", took)
+	}
+	if rep.Succeeded || !rep.Cancelled || len(rep.Attempts) != 1 {
+		t.Fatalf("report = %+v, want 1 attempt then Cancelled", rep)
+	}
+}
+
+func TestRunCtxCancelDuringAttemptStopsRetrying(t *testing.T) {
+	// The attempt itself observes the cancellation (a supervised child
+	// killed by shutdown): the failure must not be retried.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	clock := &fakeClock{}
+	ran := 0
+	rep := RunCtx(ctx, Config{MaxAttempts: 5, Sleep: clock.sleep},
+		func(n int) (int, error) {
+			ran++
+			cancel()
+			return 137, errors.New("terminated")
+		})
+	if ran != 1 || rep.Succeeded || !rep.Cancelled {
+		t.Fatalf("ran=%d report=%+v, want exactly one attempt then Cancelled", ran, rep)
+	}
+	if len(rep.Attempts) != 1 || rep.Attempts[0].ExitCode != 137 {
+		t.Fatalf("cancelled attempt not recorded: %+v", rep.Attempts)
+	}
+	if len(clock.slept) != 0 {
+		t.Fatalf("slept %v after cancellation", clock.slept)
+	}
+}
+
+func TestRunCtxCancelViaInjectedSleepSeam(t *testing.T) {
+	// With an injected Sleep, cancellation is checked when the sleep
+	// returns — the seam stays usable for tests while shutdown still wins.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ran := 0
+	rep := RunCtx(ctx, Config{
+		MaxAttempts: 5,
+		Sleep:       func(time.Duration) { cancel() },
+	}, func(n int) (int, error) { ran++; return 1, errors.New("crash") })
+	if ran != 1 || !rep.Cancelled || rep.Succeeded {
+		t.Fatalf("ran=%d report=%+v, want 1 attempt then Cancelled", ran, rep)
+	}
+}
+
+func TestRunMatchesRunCtxBackground(t *testing.T) {
+	// Run is RunCtx with a background context: never Cancelled.
+	rep := Run(Config{Sleep: (&fakeClock{}).sleep}, func(n int) (int, error) { return 0, nil })
+	if rep.Cancelled {
+		t.Fatal("Run reported Cancelled without a context")
+	}
+}

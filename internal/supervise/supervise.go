@@ -8,9 +8,14 @@
 // Determinism discipline: backoff jitter comes from a seeded generator and
 // sleeping goes through an injectable seam, so supervisor behaviour —
 // including the exact backoff schedule — replays identically in tests.
+//
+// Supervision is context-aware: RunCtx stops retrying — and interrupts a
+// mid-backoff sleep — as soon as its context is cancelled, so a draining
+// daemon never blocks on a supervisor that is waiting out its backoff.
 package supervise
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -33,8 +38,10 @@ type Config struct {
 	// half the base delay so restart stampedes decorrelate without making
 	// the schedule irreproducible.
 	JitterSeed int64
-	// Sleep is the waiting seam; nil means time.Sleep. Tests inject a
-	// recorder to assert the schedule without waiting it out.
+	// Sleep is the waiting seam; nil means a context-aware timer wait.
+	// Tests inject a recorder to assert the schedule without waiting it
+	// out. An injected Sleep cannot be interrupted mid-wait, but
+	// cancellation is still honoured as soon as it returns.
 	Sleep func(time.Duration)
 	// OnAttempt, when non-nil, observes every attempt as it completes —
 	// structured reporting for logs and the crpd CLI.
@@ -51,10 +58,25 @@ func (c Config) withDefaults() Config {
 	if c.MaxBackoff <= 0 {
 		c.MaxBackoff = 10 * time.Second
 	}
-	if c.Sleep == nil {
-		c.Sleep = time.Sleep
-	}
 	return c
+}
+
+// sleep waits d through the injectable seam. It returns false when the
+// context was cancelled — either mid-wait (default timer path) or by the
+// time an injected Sleep returned.
+func (c Config) sleep(ctx context.Context, d time.Duration) bool {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Attempt is the structured record of one job execution.
@@ -77,19 +99,36 @@ type Attempt struct {
 type Report struct {
 	Succeeded bool      `json:"succeeded"`
 	Attempts  []Attempt `json:"attempts"`
+	// Cancelled reports that supervision stopped because the context was
+	// cancelled — before an attempt, during a backoff sleep, or while the
+	// final attempt was executing — rather than by success or cap
+	// exhaustion.
+	Cancelled bool `json:"cancelled,omitempty"`
 }
 
 // Job runs one attempt and reports its exit code. A nil error with code 0
 // is success; any other combination schedules a retry.
 type Job func(attempt int) (exitCode int, err error)
 
-// Run supervises job under cfg, retrying failures with exponential backoff
-// plus deterministic jitter until success or the attempt cap.
+// Run supervises job under cfg with no external cancellation.
 func Run(cfg Config, job Job) Report {
+	return RunCtx(context.Background(), cfg, job)
+}
+
+// RunCtx supervises job under cfg, retrying failures with exponential
+// backoff plus deterministic jitter until success, the attempt cap, or
+// context cancellation. Cancellation interrupts a mid-backoff sleep and
+// suppresses further retries; the job itself is expected to observe the
+// same context if it wants to stop mid-attempt.
+func RunCtx(ctx context.Context, cfg Config, job Job) Report {
 	cfg = cfg.withDefaults()
 	jitter := rand.New(rand.NewSource(cfg.JitterSeed))
 	var rep Report
 	for n := 1; n <= cfg.MaxAttempts; n++ {
+		if ctx.Err() != nil {
+			rep.Cancelled = true
+			return rep
+		}
 		t0 := time.Now()
 		code, err := job(n)
 		at := Attempt{N: n, ExitCode: code, Duration: time.Since(t0)}
@@ -104,6 +143,17 @@ func Run(cfg Config, job Job) Report {
 			}
 			return rep
 		}
+		// A failure after cancellation is not retried: the attempt was
+		// (or contains) the cancellation itself — a preempted or draining
+		// job — and restarting it would fight the shutdown.
+		if ctx.Err() != nil {
+			rep.Attempts = append(rep.Attempts, at)
+			if cfg.OnAttempt != nil {
+				cfg.OnAttempt(at)
+			}
+			rep.Cancelled = true
+			return rep
+		}
 		if n < cfg.MaxAttempts {
 			at.Backoff = backoff(cfg, jitter, n)
 		}
@@ -111,8 +161,9 @@ func Run(cfg Config, job Job) Report {
 		if cfg.OnAttempt != nil {
 			cfg.OnAttempt(at)
 		}
-		if at.Backoff > 0 {
-			cfg.Sleep(at.Backoff)
+		if at.Backoff > 0 && !cfg.sleep(ctx, at.Backoff) {
+			rep.Cancelled = true
+			return rep
 		}
 	}
 	return rep
