@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race race-solver race-shard lint-state bench-smoke bench-json fuzz-smoke chaos crash-chaos service-chaos
+.PHONY: check vet build test race race-solver race-shard lint-state bench-smoke bench-json fuzz-smoke chaos crash-chaos service-chaos failover-chaos
 
 ## check: the full pre-merge gate — vet, build, state lint, race-enabled
 ## tests, bench smoke, chaos suite, crash-chaos suite, service-chaos suite,
-## fuzz smoke.
-check: vet build lint-state race-solver race-shard race bench-smoke chaos crash-chaos service-chaos fuzz-smoke
+## failover-chaos suite, fuzz smoke.
+check: vet build lint-state race-solver race-shard race bench-smoke chaos crash-chaos service-chaos failover-chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -53,8 +53,8 @@ lint-state:
 
 ## bench-json: regenerate the BENCH_*.json performance snapshot
 ## (see EXPERIMENTS.md, "Performance architecture"). Override the target
-## with BENCH=..., e.g. `make bench-json BENCH=BENCH_7.json`.
-BENCH ?= BENCH_7.json
+## with BENCH=..., e.g. `make bench-json BENCH=BENCH_9.json`.
+BENCH ?= BENCH_9.json
 bench-json:
 	$(GO) run ./cmd/benchreport -o $(BENCH)
 
@@ -81,6 +81,15 @@ crash-chaos:
 service-chaos:
 	$(GO) test -race -count=1 ./internal/service ./internal/supervise
 
+## failover-chaos: the multi-node failover battery — kill-at-every-
+## checkpoint-boundary adoption with byte-identical outputs, partitioned
+## zombies fenced off the store, the load-shed ladder engaging in order,
+## exact-result-cache differentials, retry-budget exhaustion, and the
+## lease-clock edge cases (see EXPERIMENTS.md, "Failover runbook").
+failover-chaos:
+	$(GO) test -race -count=1 -run 'TestFailover|TestShedLadder|TestResultCache|TestRetryBudget|TestLease|TestDecodeLeaseRecord|TestNodesEndpoint' ./internal/service
+	$(GO) test -race -count=1 -run 'TestRetryBudget' ./internal/supervise
+
 ## fuzz-smoke: short coverage-guided runs of every fuzz target (one -fuzz
 ## per invocation — the go tool allows a single target at a time). The
 ## minimize cap keeps a new-coverage find from eating the whole budget.
@@ -93,3 +102,5 @@ fuzz-smoke:
 	$(GO) test ./internal/view -fuzz 'FuzzOverlayCommit$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
 	$(GO) test ./internal/view -fuzz 'FuzzShardMerge$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
 	$(GO) test ./internal/ilp -fuzz 'FuzzILPSolve$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
+	$(GO) test ./internal/service -fuzz 'FuzzSpecDecode$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
+	$(GO) test ./internal/service -fuzz 'FuzzLeaseRecord$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	benchreport [-o BENCH_6.json] [-scale 0.004] [-k 10] [-prev BENCH_5.json]
+//	benchreport [-o BENCH_9.json] [-scale 0.004] [-k 10] [-prev BENCH_7.json]
 //
 // The cache-off and cache-on flows run the same circuit with the same seeds;
 // the estimation caches are bit-transparent (see DESIGN.md, "Performance
@@ -22,6 +22,12 @@
 // via -ecc-before-*) with a fresh measurement of the overlay-based path, and
 // fig3_breakdown pairs the cache-on phases of the -prev snapshot with this
 // run's.
+//
+// The service_breakdown section exercises the crpd job service end to end
+// on an in-process daemon: a burst of jobs submitted to saturation
+// (jobs/sec and admission-latency percentiles), the same burst resubmitted
+// against the exact result cache (hit rate and cached-admission latency),
+// and a graceful drain with jobs still running (checkpoint-preempt time).
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -42,6 +49,7 @@ import (
 	"github.com/crp-eda/crp/internal/grid"
 	"github.com/crp-eda/crp/internal/ispd"
 	"github.com/crp-eda/crp/internal/route/global"
+	"github.com/crp-eda/crp/internal/service"
 	"github.com/crp-eda/crp/internal/shard"
 )
 
@@ -100,6 +108,40 @@ type report struct {
 	// clock next to the LPT-modeled makespan (see EXPERIMENTS.md for why the
 	// two are separated on a 1-CPU runner).
 	ShardBreakdown shardBreakdown `json:"shard_breakdown"`
+	// ServiceBreakdown measures the crpd job service: saturation
+	// throughput, admission-latency percentiles, exact-result-cache hit
+	// rate, and checkpoint-preempt drain time with jobs still running.
+	ServiceBreakdown serviceBreakdown `json:"service_breakdown"`
+}
+
+// serviceBreakdown is the crpd job-service section. The saturation round
+// submits Jobs distinct synthetic specs in one burst against Workers worker
+// slots; the cache round resubmits the identical specs, which the exact
+// result cache must serve without running the flow; the drain round measures
+// a graceful Drain while DrainRunningJobs attempts hold worker slots (each
+// is preempted at its next checkpoint boundary, so the drain time bounds
+// checkpoint latency, not job length).
+type serviceBreakdown struct {
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queue_cap"`
+	Jobs     int `json:"jobs"`
+
+	SaturationWallS float64 `json:"saturation_wall_s"`
+	JobsPerSec      float64 `json:"jobs_per_sec"`
+	// Admission latency is the synchronous Submit call: queue/tenant
+	// checks, cache probe, and the durable spec write. With Jobs samples
+	// the p99 is effectively the worst burst sample.
+	AdmitP50MS float64 `json:"admit_p50_ms"`
+	AdmitP99MS float64 `json:"admit_p99_ms"`
+
+	CacheHits        int64   `json:"cache_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	CachedAdmitP99MS float64 `json:"cached_admit_p99_ms"`
+
+	DrainRunningJobs int     `json:"drain_running_jobs"`
+	DrainQueuedJobs  int     `json:"drain_queued_jobs"`
+	DrainS           float64 `json:"drain_s"`
 }
 
 // shardIterStats is the per-iteration partition telemetry of the sharded
@@ -404,6 +446,160 @@ func measureShardSweep(k int) (shardBreakdown, error) {
 	return sb, nil
 }
 
+// svcSpec is one saturation-round job: a small synthetic circuit (distinct
+// per seed, so every spec is a cache miss the first time and an exact hit
+// the second) run for a single CR&P iteration.
+func svcSpec(seed int64, k int) service.Spec {
+	return service.Spec{
+		Synthetic: &ispd.Spec{
+			Name: "bench_svc", Node: "n45", Cells: 160, Nets: 130,
+			Utilisation: 0.85, Hotspots: 2, IOFraction: 0.03, Seed: seed,
+		},
+		K: k, Seed: seed,
+	}
+}
+
+// percentileMS reads the q-th percentile (0 < q <= 1) of a latency sample
+// in milliseconds. The sample is sorted in place.
+func percentileMS(ds []time.Duration, q float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := int(q*float64(len(ds))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return float64(ds[idx].Nanoseconds()) / 1e6
+}
+
+// waitTerminal polls a job until it reaches a terminal state.
+func waitTerminal(svc *service.Service, id string) (service.Status, error) {
+	deadline := time.Now().Add(10 * time.Minute)
+	for {
+		st, err := svc.Status(id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case service.StateDone:
+			return st, nil
+		case service.StateFailed, service.StateCancelled, service.StateRetriesExhausted:
+			return st, fmt.Errorf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// measureService fills the service_breakdown section on an in-process
+// daemon over a throwaway data directory.
+func measureService() (serviceBreakdown, error) {
+	const (
+		workers  = 4
+		queueCap = 32
+		jobs     = 24
+	)
+	sb := serviceBreakdown{Workers: workers, QueueCap: queueCap, Jobs: jobs}
+	dir, err := os.MkdirTemp("", "crpd-bench-")
+	if err != nil {
+		return sb, err
+	}
+	defer os.RemoveAll(dir)
+	svc, err := service.New(service.Config{
+		DataDir: dir, Workers: workers, QueueCap: queueCap,
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return sb, err
+	}
+	drained := false
+	defer func() {
+		if drained {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		svc.Drain(ctx)
+	}()
+
+	// Saturation round: one burst of distinct specs, then wait them all
+	// out. Throughput is burst-start to last-done.
+	var ids []string
+	admits := make([]time.Duration, 0, jobs)
+	t0 := time.Now()
+	for i := 0; i < jobs; i++ {
+		ts := time.Now()
+		st, err := svc.Submit(svcSpec(int64(9000+i), 1))
+		if err != nil {
+			return sb, err
+		}
+		admits = append(admits, time.Since(ts))
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		if _, err := waitTerminal(svc, id); err != nil {
+			return sb, err
+		}
+	}
+	sb.SaturationWallS = time.Since(t0).Seconds()
+	if sb.SaturationWallS > 0 {
+		sb.JobsPerSec = float64(jobs) / sb.SaturationWallS
+	}
+	sb.AdmitP50MS = percentileMS(admits, 0.50)
+	sb.AdmitP99MS = percentileMS(admits, 0.99)
+
+	// Cache round: the identical specs again. Every submission must be an
+	// exact-cache hit served synchronously at admission.
+	cached := make([]time.Duration, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		ts := time.Now()
+		st, err := svc.Submit(svcSpec(int64(9000+i), 1))
+		if err != nil {
+			return sb, err
+		}
+		cached = append(cached, time.Since(ts))
+		if _, err := waitTerminal(svc, st.ID); err != nil {
+			return sb, err
+		}
+	}
+	stats := svc.Stats()
+	sb.CacheHits, sb.CacheMisses = stats.CacheHits, stats.CacheMisses
+	if total := stats.CacheHits + stats.CacheMisses; total > 0 {
+		sb.CacheHitRate = float64(stats.CacheHits) / float64(total)
+	}
+	sb.CachedAdmitP99MS = percentileMS(cached, 0.99)
+
+	// Drain round: fill the worker slots with longer jobs, then measure a
+	// graceful drain — each running attempt stops at its next checkpoint
+	// boundary and persists back into the queue.
+	for i := 0; i < 2*workers; i++ {
+		if _, err := svc.Submit(svcSpec(int64(9500+i), 3)); err != nil {
+			return sb, err
+		}
+	}
+	deadline := time.Now().Add(time.Minute)
+	for svc.Stats().Running < workers && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stats = svc.Stats()
+	sb.DrainRunningJobs, sb.DrainQueuedJobs = stats.Running, stats.QueueDepth
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	td := time.Now()
+	if err := svc.Drain(ctx); err != nil {
+		return sb, err
+	}
+	drained = true
+	sb.DrainS = time.Since(td).Seconds()
+	return sb, nil
+}
+
 // loadPrev reads a previous BENCH_*.json snapshot for the before columns.
 func loadPrev(path string) (report, error) {
 	var prev report
@@ -419,11 +615,11 @@ func loadPrev(path string) (report, error) {
 
 func main() {
 	var (
-		out    = flag.String("o", "BENCH_7.json", "output path")
+		out    = flag.String("o", "BENCH_9.json", "output path")
 		scale  = flag.Float64("scale", 0.004, "suite scale (matches CRP_BENCH_SCALE)")
 		k      = flag.Int("k", 10, "CR&P iterations for the flow runs")
 		shardK = flag.Int("shard-k", 10, "CR&P iterations for the shard_breakdown sweep")
-		prev   = flag.String("prev", "BENCH_6.json", "previous snapshot for the before/continuity columns (\"\" = skip)")
+		prev   = flag.String("prev", "BENCH_7.json", "previous snapshot for the before/continuity columns (\"\" = skip)")
 		// Pre-refactor BenchmarkECCEstimateCosts record (scratch-buffer
 		// implementation, same fixture), measured immediately before the
 		// DesignView refactor landed.
@@ -482,6 +678,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
+	if rep.ServiceBreakdown, err = measureService(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
 
 	rep.Fig3Breakdown.After = rep.CacheOn
 	if *prev != "" {
@@ -524,4 +724,9 @@ func main() {
 			row.Workers, row.ModeledWallS, row.ModeledSpeedup, row.RegionSpeedup, row.BitIdentical)
 	}
 	fmt.Println()
+	svb := rep.ServiceBreakdown
+	fmt.Printf("service: %d jobs on %d workers, %.2f jobs/s; admit p50 %.2fms p99 %.2fms (cached p99 %.2fms, hit rate %.0f%%); drain of %d running + %d queued in %.3fs\n",
+		svb.Jobs, svb.Workers, svb.JobsPerSec,
+		svb.AdmitP50MS, svb.AdmitP99MS, svb.CachedAdmitP99MS, svb.CacheHitRate*100,
+		svb.DrainRunningJobs, svb.DrainQueuedJobs, svb.DrainS)
 }

@@ -14,7 +14,17 @@
 //
 //	crpd -listen :8731 -data-dir /var/lib/crpd [-workers 2] [-queue-cap 16]
 //	     [-tenant-cap-active 8] [-tenant-cap-running 1] [-retry-cap 3]
-//	     [-drain-grace 10s] [-isolate]
+//	     [-retry-budget 0] [-drain-grace 10s] [-isolate]
+//	     [-node-id NODE] [-store-dir DIR] [-lease-ttl 10s] [-shed-policy off]
+//	     [-no-cache]
+//
+// Several daemons may share one job store (-store-dir, an alias for
+// -data-dir that wins when both are set) as long as each uses a distinct
+// -node-id: jobs are claimed through fencing-token leases, a crashed
+// node's work is adopted by the survivors after -lease-ttl without
+// heartbeats, and a partitioned ex-owner's stale writes are fenced.
+// -shed-policy degrade[:k=N,at=F,budget-ms=M] turns on degraded admission
+// near queue saturation (every clamp is recorded in the job's result).
 //
 // Supervisor mode (trailing child command): the original self-healing
 // wrapper. It executes the child (typically a checkpointed crp
@@ -43,6 +53,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -64,9 +76,15 @@ func main() {
 		queueCap   = flag.Int("queue-cap", 16, "bounded queue capacity (daemon)")
 		tenantAct  = flag.Int("tenant-cap-active", 0, "per-tenant queued+running cap, 0 = queue-cap (daemon)")
 		tenantRun  = flag.Int("tenant-cap-running", 0, "per-tenant running cap, 0 = workers (daemon)")
-		retryCap   = flag.Int("retry-cap", 3, "attempts per job activation (daemon)")
-		drainGrace = flag.Duration("drain-grace", 10*time.Second, "wait for a checkpoint boundary before hard-cancelling (daemon)")
-		isolate    = flag.Bool("isolate", false, "run each job attempt in a child process (daemon)")
+		retryCap    = flag.Int("retry-cap", 3, "attempts per job activation (daemon)")
+		retryBudget = flag.Duration("retry-budget", 0, "wall-clock cap per activation's retries, 0 = uncapped (daemon)")
+		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "wait for a checkpoint boundary before hard-cancelling (daemon)")
+		isolate     = flag.Bool("isolate", false, "run each job attempt in a child process (daemon)")
+		nodeID      = flag.String("node-id", "", "this daemon's identity in a shared job store, default node-<pid> (daemon)")
+		storeDir    = flag.String("store-dir", "", "shared job store root; overrides -data-dir (daemon)")
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "job-claim lease TTL; failover latency after a node dies (daemon)")
+		shedPolicy  = flag.String("shed-policy", "off", "degraded admission near saturation: off | degrade[:k=N,at=F,budget-ms=M] (daemon)")
+		noCache     = flag.Bool("no-cache", false, "disable exact-result-cache serving at admission (daemon)")
 
 		// Supervisor mode.
 		maxAttempts = flag.Int("max-attempts", 5, "total executions before giving up (supervisor)")
@@ -79,10 +97,16 @@ func main() {
 
 	switch {
 	case *listen != "":
+		dir := *dataDir
+		if *storeDir != "" {
+			dir = *storeDir
+		}
 		os.Exit(runDaemon(daemonFlags{
-			listen: *listen, dataDir: *dataDir, workers: *workers,
+			listen: *listen, dataDir: dir, workers: *workers,
 			queueCap: *queueCap, tenantActive: *tenantAct, tenantRunning: *tenantRun,
-			retryCap: *retryCap, drainGrace: *drainGrace, isolate: *isolate,
+			retryCap: *retryCap, retryBudget: *retryBudget, drainGrace: *drainGrace,
+			isolate: *isolate, nodeID: *nodeID, leaseTTL: *leaseTTL,
+			shedPolicy: *shedPolicy, noCache: *noCache,
 		}))
 	case len(flag.Args()) > 0:
 		os.Exit(runSupervisor(flag.Args(), *maxAttempts, *base, *maxBackoff, *jitterSeed, *reportPath))
@@ -97,13 +121,62 @@ type daemonFlags struct {
 	listen, dataDir                       string
 	workers, queueCap                     int
 	tenantActive, tenantRunning, retryCap int
+	retryBudget                           time.Duration
 	drainGrace                            time.Duration
 	isolate                               bool
+	nodeID                                string
+	leaseTTL                              time.Duration
+	shedPolicy                            string
+	noCache                               bool
+}
+
+// parseShedPolicy parses the -shed-policy flag: "off" (or empty) disables
+// degraded admission, "degrade" enables it with the defaults, and
+// "degrade:k=N,at=F,budget-ms=M" tunes the iteration clamp, the engagement
+// fraction of the queue and the flow-budget clamp.
+func parseShedPolicy(s string) (*service.ShedPolicy, error) {
+	switch s {
+	case "", "off":
+		return nil, nil
+	case "degrade":
+		return &service.ShedPolicy{}, nil
+	}
+	rest, ok := strings.CutPrefix(s, "degrade:")
+	if !ok {
+		return nil, fmt.Errorf("unknown shed policy %q (want off or degrade[:k=N,at=F,budget-ms=M])", s)
+	}
+	p := &service.ShedPolicy{}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("shed policy option %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "k":
+			p.MaxK, err = strconv.Atoi(val)
+		case "at":
+			p.Threshold, err = strconv.ParseFloat(val, 64)
+		case "budget-ms":
+			p.FlowBudgetMS, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return nil, fmt.Errorf("unknown shed policy option %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shed policy option %s: %v", key, err)
+		}
+	}
+	return p, nil
 }
 
 func runDaemon(f daemonFlags) int {
 	if f.dataDir == "" {
-		fmt.Fprintln(os.Stderr, "crpd: -listen requires -data-dir")
+		fmt.Fprintln(os.Stderr, "crpd: -listen requires -data-dir (or -store-dir)")
+		return 2
+	}
+	shed, err := parseShedPolicy(f.shedPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crpd:", err)
 		return 2
 	}
 	cfg := service.Config{
@@ -113,7 +186,12 @@ func runDaemon(f daemonFlags) int {
 		TenantMaxActive:  f.tenantActive,
 		TenantMaxRunning: f.tenantRunning,
 		RetryCap:         f.retryCap,
+		RetryBudget:      f.retryBudget,
 		DrainGrace:       f.drainGrace,
+		NodeID:           f.nodeID,
+		LeaseTTL:         f.leaseTTL,
+		Shed:             shed,
+		DisableCache:     f.noCache,
 	}
 	if f.isolate {
 		exe, err := os.Executable()

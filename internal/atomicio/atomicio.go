@@ -49,7 +49,16 @@ func (a *File) Write(p []byte) (int, error) {
 
 // Commit flushes, fsyncs and renames the temporary file over the target,
 // then fsyncs the directory so the rename itself is durable.
-func (a *File) Commit() error {
+func (a *File) Commit() error { return a.CommitIf(nil) }
+
+// CommitIf is Commit with a publication guard: after the temporary file is
+// fully flushed and fsynced — the last moment before the rename makes it
+// visible — guard runs, and a non-nil guard error abandons the commit,
+// leaving the target untouched. The job service threads lease fencing
+// checks through here: a zombie ex-owner whose lease was stolen fails the
+// guard and its fully-written output never replaces the rightful owner's.
+// A nil guard is plain Commit.
+func (a *File) CommitIf(guard func() error) error {
 	if a.f == nil {
 		return fmt.Errorf("atomicio: double commit of %s", a.path)
 	}
@@ -68,6 +77,12 @@ func (a *File) Commit() error {
 	if err := f.Close(); err != nil {
 		os.Remove(a.tmp)
 		return fmt.Errorf("atomicio: closing %s: %w", a.path, err)
+	}
+	if guard != nil {
+		if err := guard(); err != nil {
+			os.Remove(a.tmp)
+			return fmt.Errorf("atomicio: commit of %s refused: %w", a.path, err)
+		}
 	}
 	if err := os.Rename(a.tmp, a.path); err != nil {
 		os.Remove(a.tmp)
@@ -106,6 +121,28 @@ func WriteFile(path string, write func(w io.Writer) error) error {
 // WriteFileBytes atomically replaces path with data.
 func WriteFileBytes(path string, data []byte) error {
 	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteFileGuarded atomically replaces path with whatever write emits, but
+// only if guard passes once the content is durable (see File.CommitIf).
+func WriteFileGuarded(path string, guard func() error, write func(w io.Writer) error) error {
+	a, err := Create(path)
+	if err != nil {
+		return err
+	}
+	defer a.Abort()
+	if err := write(a); err != nil {
+		return err
+	}
+	return a.CommitIf(guard)
+}
+
+// WriteFileBytesGuarded atomically replaces path with data under a guard.
+func WriteFileBytesGuarded(path string, guard func() error, data []byte) error {
+	return WriteFileGuarded(path, guard, func(w io.Writer) error {
 		_, err := w.Write(data)
 		return err
 	})

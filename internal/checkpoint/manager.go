@@ -41,9 +41,10 @@ type entry struct {
 // torn-write-tolerant manifest, newest-first recovery with fallback across
 // corrupt files, and pruning to a bounded number of retained checkpoints.
 type Manager struct {
-	dir  string
-	keep int
-	seq  int
+	dir   string
+	keep  int
+	seq   int
+	guard func() error
 }
 
 // Open prepares dir (creating it if needed) and positions the sequence
@@ -81,6 +82,15 @@ func Open(dir string, keep int) (*Manager, error) {
 // Dir returns the managed directory.
 func (m *Manager) Dir() string { return m.dir }
 
+// SetGuard installs a publication guard on every durable write this manager
+// performs: the snapshot file and the manifest both commit through
+// atomicio.CommitIf(guard), so a writer whose authority has lapsed — a job
+// daemon whose lease was stolen — cannot rename a stale snapshot or
+// manifest into a directory another node now owns. A failing guard surfaces
+// as a Save error, which the flow layer records as a counted
+// "checkpoint-write-failed" degradation rather than a crash. Nil clears.
+func (m *Manager) SetGuard(g func() error) { m.guard = g }
+
 // Save durably commits a snapshot: the checkpoint file is written to a temp
 // name, fsynced and renamed into place, and only then is the manifest
 // rewritten (also atomically) to reference it. A crash between the two
@@ -91,7 +101,7 @@ func (m *Manager) Save(s *Snapshot) error {
 	m.seq++
 	name := fmt.Sprintf("ckpt-%d.bin", m.seq)
 	var size int64
-	err := atomicio.WriteFile(filepath.Join(m.dir, name), func(w io.Writer) error {
+	err := atomicio.WriteFileGuarded(filepath.Join(m.dir, name), m.guard, func(w io.Writer) error {
 		cw := &countingWriter{w: w}
 		if err := Encode(cw, s); err != nil {
 			return err
@@ -232,7 +242,7 @@ func (m *Manager) readManifest() ([]entry, error) {
 }
 
 func (m *Manager) writeManifest(entries []entry) error {
-	return atomicio.WriteFile(filepath.Join(m.dir, manifestName), func(w io.Writer) error {
+	return atomicio.WriteFileGuarded(filepath.Join(m.dir, manifestName), m.guard, func(w io.Writer) error {
 		for _, e := range entries {
 			if _, err := fmt.Fprintln(w, manifestLine(e)); err != nil {
 				return err

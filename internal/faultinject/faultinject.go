@@ -77,6 +77,19 @@ type Plan struct {
 	// disables. Use CrashAt to build a crash-only plan.
 	CrashStage  string
 	CrashAtCall int
+	// DropRenewalsFromCall suppresses lease heartbeat renewals from the Nth
+	// renewal attempt on (0 disables) — the network-partition fault class
+	// for the multi-node job service: the node believes its renewals
+	// succeed, its lease silently expires, and another node may steal the
+	// job while the partitioned "zombie" keeps computing.
+	DropRenewalsFromCall int
+	// StallLeaseWriteAtCall sleeps LeaseWriteStall immediately before the
+	// Nth lease-record write (acquire/renew/release alike; 0 disables) —
+	// the fsync-stall fault class. The write itself still completes, so
+	// the suite can assert that a slow disk delays but never corrupts
+	// lease hand-off.
+	StallLeaseWriteAtCall int
+	LeaseWriteStall       time.Duration
 }
 
 // CrashAt plans a process crash at the Nth call of the stage hook and
@@ -103,6 +116,8 @@ type Injector struct {
 	shardCalls  atomic.Int64
 	postUDCalls atomic.Int64
 	ckptCalls   atomic.Int64
+	renewCalls  atomic.Int64
+	leaseWrites atomic.Int64
 
 	// Exit is the crash seam: CrashAt faults call it with CrashExitCode.
 	// It defaults to os.Exit; unit tests replace it to observe the crash
@@ -254,6 +269,40 @@ func (in *Injector) CheckpointHook() func(n int) {
 
 func (in *Injector) crashPlanned(stage string) bool {
 	return in.plan.CrashStage == stage && in.plan.CrashAtCall > 0
+}
+
+// RenewDropHook returns the lease layer's heartbeat-partition seam, or nil
+// when no renewal drops are planned. The hook is called once per renewal
+// attempt; returning true means "this renewal is lost in the network" —
+// the caller must report local success without touching the shared store.
+func (in *Injector) RenewDropHook() func() bool {
+	if in.plan.DropRenewalsFromCall <= 0 {
+		return nil
+	}
+	return func() bool {
+		n := in.renewCalls.Add(1)
+		if n < int64(in.plan.DropRenewalsFromCall) {
+			return false
+		}
+		in.record("lease-renew", n, fmt.Sprintf("renewal-dropped call=%d", n))
+		return true
+	}
+}
+
+// LeaseWriteHook returns the lease layer's fsync-stall seam, or nil when no
+// stall is planned. It is called immediately before every durable lease
+// write with the operation name ("acquire", "renew", "release").
+func (in *Injector) LeaseWriteHook() func(op string) {
+	if in.plan.StallLeaseWriteAtCall <= 0 || in.plan.LeaseWriteStall <= 0 {
+		return nil
+	}
+	return func(op string) {
+		n := in.leaseWrites.Add(1)
+		if n == int64(in.plan.StallLeaseWriteAtCall) {
+			in.record("lease-write", n, fmt.Sprintf("lease-write-stalled call=%d op=%s", n, op))
+			time.Sleep(in.plan.LeaseWriteStall)
+		}
+	}
 }
 
 // TruncateDEF deterministically truncates DEF (or any) input to frac of its

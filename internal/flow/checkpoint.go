@@ -192,7 +192,7 @@ func writeRunOutputs(s session, defOut, guideOut io.Writer) error {
 func RunCRPCheckpointed(ctx context.Context, d *db.Design, k int, cfg Config, ck *Checkpointing, defOut, guideOut io.Writer) (*Result, error) {
 	ctx, cancel := flowCtx(ctx, cfg)
 	defer cancel()
-	res := &Result{}
+	res := newResult(cfg)
 	s, gst, tGR := globalRoute(ctx, d, cfg, res)
 	t0 := time.Now()
 	engine := crp.New(s.d, s.g, s.r, crpConfig(cfg, k))

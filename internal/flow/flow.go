@@ -61,6 +61,14 @@ type Config struct {
 	CRP      crp.Config
 	Baseline medianilp.Config
 	Budgets  Budgets
+	// AdmitDegradations records degradations imposed before the run ever
+	// started — the job service's load-shedding admission clamps (reduced
+	// k, tightened budgets). Run* entry points fold them into
+	// Result.Degradations up front so a degraded-admission run is
+	// self-describing. Resume does not re-apply them: checkpoint 0 is
+	// committed after the fold, so a resumed run inherits them from its
+	// snapshot's degradation log instead.
+	AdmitDegradations []Degradation
 }
 
 // DefaultConfig returns the experiment defaults (the paper's parameters).
@@ -132,6 +140,12 @@ func (r *Result) DeadlineHit() bool {
 // degrade appends a flow-level degradation.
 func (r *Result) degrade(stage, kind, detail string) {
 	r.Degradations = append(r.Degradations, Degradation{Stage: stage, Kind: kind, Detail: detail})
+}
+
+// newResult seeds a fresh run's result with the admission-time degradations
+// (see Config.AdmitDegradations).
+func newResult(cfg Config) *Result {
+	return &Result{Degradations: append([]Degradation(nil), cfg.AdmitDegradations...)}
 }
 
 // absorbCRP folds a CR&P run's degradations into the flow result.
@@ -222,7 +236,7 @@ func detailRoute(ctx context.Context, s session, cfg Config, res *Result) (eval.
 func RunBaseline(ctx context.Context, d *db.Design, cfg Config) *Result {
 	ctx, cancel := flowCtx(ctx, cfg)
 	defer cancel()
-	res := &Result{}
+	res := newResult(cfg)
 	s, gst, tGR := globalRoute(ctx, d, cfg, res)
 	m, tDR := detailRoute(ctx, s, cfg, res)
 	res.Metrics = m
@@ -240,7 +254,7 @@ func RunBaseline(ctx context.Context, d *db.Design, cfg Config) *Result {
 func RunCRP(ctx context.Context, d *db.Design, k int, cfg Config) *Result {
 	ctx, cancel := flowCtx(ctx, cfg)
 	defer cancel()
-	res := &Result{}
+	res := newResult(cfg)
 	s, gst, tGR := globalRoute(ctx, d, cfg, res)
 	t0 := time.Now()
 	engine := crp.New(s.d, s.g, s.r, crpConfig(cfg, k))
@@ -266,7 +280,7 @@ func RunCRP(ctx context.Context, d *db.Design, k int, cfg Config) *Result {
 func RunSOTA(ctx context.Context, d *db.Design, cfg Config) *Result {
 	ctx, cancel := flowCtx(ctx, cfg)
 	defer cancel()
-	res := &Result{}
+	res := newResult(cfg)
 	s, gst, tGR := globalRoute(ctx, d, cfg, res)
 	t0 := time.Now()
 	bst := medianilp.Run(ctx, s.d, s.g, s.r, cfg.Baseline)
@@ -297,7 +311,7 @@ func RunSOTA(ctx context.Context, d *db.Design, cfg Config) *Result {
 func RunCRPWithOutputs(ctx context.Context, d *db.Design, k int, cfg Config, defOut, guideOut io.Writer) (*Result, error) {
 	ctx, cancel := flowCtx(ctx, cfg)
 	defer cancel()
-	res := &Result{}
+	res := newResult(cfg)
 	s, gst, tGR := globalRoute(ctx, d, cfg, res)
 	t0 := time.Now()
 	engine := crp.New(s.d, s.g, s.r, crpConfig(cfg, k))

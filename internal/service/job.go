@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"time"
@@ -33,11 +34,19 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateRetriesExhausted is the terminal state of a job whose
+	// supervised activation ran out of its retry wall-clock budget
+	// (Config.RetryBudget): the last attempt failed and the budget forbade
+	// another. Distinct from StateFailed (which is the attempt-count cap)
+	// so orchestrators can tell "crashed too many times" from "crashed for
+	// too long".
+	StateRetriesExhausted State = "retries_exhausted"
 )
 
 // terminal reports whether a state admits no further transitions.
 func (s State) terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled ||
+		s == StateRetriesExhausted
 }
 
 // Spec is one job submission: the design — inline LEF/DEF text or a
@@ -77,10 +86,46 @@ type Spec struct {
 	IterationBudgetMS int64 `json:"iteration_budget_ms,omitempty"`
 	ILPBudgetMS       int64 `json:"ilp_budget_ms,omitempty"`
 	DRBudgetMS        int64 `json:"dr_budget_ms,omitempty"`
+
+	// AdmissionDegradations records load-shed clamps applied at admission
+	// (rung two of the shed ladder). It is part of the spec — and therefore
+	// of the cache hash — because a shed-degraded job is a different
+	// computation than the pristine submission; the flow folds each note
+	// into Result.Degradations so the caller sees exactly what admission
+	// took away. Client-supplied values are rejected at validation: only
+	// the daemon writes this field.
+	AdmissionDegradations []string `json:"admission_degradations,omitempty"`
 }
 
+// errInvalidValue marks a spec field whose value is syntactically valid
+// JSON but semantically absurd — NaN, negative budgets, parameter values
+// past any plausible use. The store maps it to the structured
+// "invalid_spec" 400, distinct from the structural "bad_spec" rejections.
+var errInvalidValue = errors.New("invalid value")
+
+// Value-sanity bounds for Validate. Generous — they reject typos and
+// hostile input, not ambitious workloads.
+const (
+	// maxSpecK bounds the CR&P iteration count; production runs use ~10.
+	maxSpecK = 100_000
+	// maxBudgetMS bounds every per-job budget at one week.
+	maxBudgetMS = int64(7 * 24 * time.Hour / time.Millisecond)
+	// maxSpecWorkers bounds a job's parallelism request.
+	maxSpecWorkers = 4096
+	// maxShardRegions bounds the region-sharding grid.
+	maxShardRegions = 1 << 16
+	// maxInlineDesignBytes bounds each inline LEF/DEF text individually
+	// (the HTTP layer separately bounds the whole body).
+	maxInlineDesignBytes = 60 << 20
+	// maxSyntheticItems bounds a synthetic generator's cells and nets.
+	maxSyntheticItems = 50_000_000
+)
+
 // Validate rejects malformed specs at admission time, before any queue
-// slot is consumed.
+// slot is consumed. Structural problems (missing or contradictory design)
+// keep their original errors; value-sanity problems — NaN/Inf floats,
+// negative or absurd budgets and parameters, oversized inline designs —
+// wrap errInvalidValue so the API maps them to "invalid_spec".
 func (sp *Spec) Validate() error {
 	inline := sp.LEF != "" || sp.DEF != ""
 	if inline && (sp.LEF == "" || sp.DEF == "") {
@@ -94,6 +139,49 @@ func (sp *Spec) Validate() error {
 	}
 	if sp.K < 0 || sp.Gamma < 0 || sp.Gamma > 1 {
 		return errors.New("k must be >= 0 and gamma in [0, 1]")
+	}
+	if math.IsNaN(sp.Gamma) || math.IsInf(sp.Gamma, 0) {
+		return fmt.Errorf("gamma is not a finite number: %w", errInvalidValue)
+	}
+	if sp.K > maxSpecK {
+		return fmt.Errorf("k %d exceeds the maximum %d: %w", sp.K, maxSpecK, errInvalidValue)
+	}
+	if sp.Workers < 0 || sp.Workers > maxSpecWorkers {
+		return fmt.Errorf("workers %d outside [0, %d]: %w", sp.Workers, maxSpecWorkers, errInvalidValue)
+	}
+	if sp.ShardRegions < 0 || sp.ShardRegions > maxShardRegions {
+		return fmt.Errorf("shard_regions %d outside [0, %d]: %w", sp.ShardRegions, maxShardRegions, errInvalidValue)
+	}
+	for _, b := range []struct {
+		name string
+		ms   int64
+	}{
+		{"flow_budget_ms", sp.FlowBudgetMS},
+		{"iteration_budget_ms", sp.IterationBudgetMS},
+		{"ilp_budget_ms", sp.ILPBudgetMS},
+		{"dr_budget_ms", sp.DRBudgetMS},
+	} {
+		if b.ms < 0 || b.ms > maxBudgetMS {
+			return fmt.Errorf("%s %d outside [0, %d]: %w", b.name, b.ms, maxBudgetMS, errInvalidValue)
+		}
+	}
+	if len(sp.LEF) > maxInlineDesignBytes || len(sp.DEF) > maxInlineDesignBytes {
+		return fmt.Errorf("inline design exceeds %d bytes: %w", maxInlineDesignBytes, errInvalidValue)
+	}
+	if sy := sp.Synthetic; sy != nil {
+		if sy.Cells < 0 || sy.Cells > maxSyntheticItems || sy.Nets < 0 || sy.Nets > maxSyntheticItems {
+			return fmt.Errorf("synthetic cells/nets outside [0, %d]: %w", maxSyntheticItems, errInvalidValue)
+		}
+		if math.IsNaN(sy.Utilisation) || math.IsInf(sy.Utilisation, 0) ||
+			math.IsNaN(sy.IOFraction) || math.IsInf(sy.IOFraction, 0) {
+			return fmt.Errorf("synthetic utilisation/io_fraction is not finite: %w", errInvalidValue)
+		}
+		if sy.Utilisation < 0 || sy.Utilisation > 1 || sy.IOFraction < 0 || sy.IOFraction > 1 {
+			return fmt.Errorf("synthetic utilisation/io_fraction outside [0, 1]: %w", errInvalidValue)
+		}
+	}
+	if len(sp.AdmissionDegradations) > 0 {
+		return fmt.Errorf("admission_degradations is daemon-assigned, not client-settable: %w", errInvalidValue)
 	}
 	return nil
 }
@@ -122,6 +210,11 @@ func (sp *Spec) FlowConfig() flow.Config {
 		CRPIteration: time.Duration(sp.IterationBudgetMS) * time.Millisecond,
 		ILP:          time.Duration(sp.ILPBudgetMS) * time.Millisecond,
 		DR:           time.Duration(sp.DRBudgetMS) * time.Millisecond,
+	}
+	for _, note := range sp.AdmissionDegradations {
+		cfg.AdmitDegradations = append(cfg.AdmitDegradations, flow.Degradation{
+			Stage: "admission", Kind: "load-shed", Detail: note,
+		})
 	}
 	return cfg
 }
@@ -194,6 +287,22 @@ type Job struct {
 	// so the pool can requeue vs. terminate accordingly.
 	preempt       func()
 	preemptReason string
+	// hardCancel stops the running attempt immediately — no checkpoint
+	// boundary, no grace: the flow's hard context cancel (in-process) or a
+	// SIGKILL of the child process. Halt uses it to simulate a node dying
+	// mid-write.
+	hardCancel func()
+	// leaseToken is the fencing token of the current claim; 0 when not
+	// claimed by this node.
+	leaseToken int64
+	// remote marks a job another node currently owns (live lease held
+	// elsewhere). Remote jobs are tracked for status/listing but never
+	// queued locally; the scan loop re-adopts them if their lease expires.
+	remote bool
+	// leaseLost marks a running job whose lease this node could not renew
+	// (or whose writes came back fenced): ownership has moved, so the pool
+	// detaches — no state writes, no requeue — instead of releasing.
+	leaseLost bool
 }
 
 // Status is the externally visible job state (GET /v1/jobs/{id}).

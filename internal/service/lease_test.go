@@ -1,0 +1,352 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/crp-eda/crp/internal/faultinject"
+)
+
+// The lease unit suite pins the clock edges the failover chaos tests rely
+// on: expiry is exact (stealable the instant now >= deadline, not one
+// nanosecond earlier), the fencing token is strictly monotonic across every
+// acquisition, racing steals elect exactly one winner, and the fault seams
+// (dropped renewals, stalled lease writes) degrade without corrupting the
+// record. Clocks are injected — no test here sleeps its way to an expiry.
+
+// fixedClock builds a leaseManager whose clock reads a settable instant.
+func fixedClock(node string, ttl time.Duration) (*leaseManager, *time.Time) {
+	lm := newLeaseManager(node, ttl, LeaseHooks{})
+	at := time.Unix(1_700_000_000, 0)
+	lm.now = func() time.Time { return at }
+	return lm, &at
+}
+
+func TestLeaseExpiryExactlyAtDeadline(t *testing.T) {
+	dir := t.TempDir()
+	ttl := time.Second
+	lmA, _ := fixedClock("nodeA", ttl)
+	rec, ok, err := lmA.acquire(dir)
+	if err != nil || !ok {
+		t.Fatalf("initial acquire: ok=%v err=%v", ok, err)
+	}
+	if rec.Token != 1 {
+		t.Fatalf("first token = %d, want 1", rec.Token)
+	}
+	deadline := time.Unix(0, rec.Deadline)
+
+	// One nanosecond before the deadline the lease is still the owner's.
+	lmB, atB := fixedClock("nodeB", ttl)
+	*atB = deadline.Add(-time.Nanosecond)
+	if _, ok, err := lmB.acquire(dir); err != nil || ok {
+		t.Fatalf("steal 1ns before deadline: ok=%v err=%v, want held", ok, err)
+	}
+
+	// At the deadline, exactly, it is anyone's.
+	*atB = deadline
+	stolen, ok, err := lmB.acquire(dir)
+	if err != nil || !ok {
+		t.Fatalf("steal at deadline: ok=%v err=%v, want stolen", ok, err)
+	}
+	if stolen.Token != rec.Token+1 {
+		t.Errorf("stolen token = %d, want %d", stolen.Token, rec.Token+1)
+	}
+	if stolen.Node != "nodeB" {
+		t.Errorf("stolen owner = %q, want nodeB", stolen.Node)
+	}
+
+	// The loser's fence fails from the moment of the steal.
+	if err := lmA.fence(dir, rec.Token)(); !errors.Is(err, ErrFenced) {
+		t.Errorf("superseded fence = %v, want ErrFenced", err)
+	}
+}
+
+// TestLeaseReacquireOwnLease: the owner itself may re-acquire (restart after
+// crash on the same node) and the token still bumps — fencing out its own
+// previous incarnation's in-flight writes.
+func TestLeaseReacquireOwnLease(t *testing.T) {
+	dir := t.TempDir()
+	lm, _ := fixedClock("nodeA", time.Second)
+	first, ok, err := lm.acquire(dir)
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	second, ok, err := lm.acquire(dir)
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if second.Token != first.Token+1 {
+		t.Errorf("re-acquired token = %d, want %d", second.Token, first.Token+1)
+	}
+	if err := lm.fence(dir, first.Token)(); !errors.Is(err, ErrFenced) {
+		t.Errorf("previous incarnation's fence = %v, want ErrFenced", err)
+	}
+	if err := lm.fence(dir, second.Token)(); err != nil {
+		t.Errorf("current incarnation's fence = %v, want nil", err)
+	}
+}
+
+// TestLeaseRacingSteals: N nodes race to steal one expired lease — exactly
+// one wins, the losers see a live foreign lease, and the winner's token is
+// the old token plus one.
+func TestLeaseRacingSteals(t *testing.T) {
+	dir := t.TempDir()
+	owner, _ := fixedClock("node0", time.Second)
+	first, ok, err := owner.acquire(dir)
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	stealAt := time.Unix(0, first.Deadline).Add(time.Second)
+
+	const thieves = 8
+	recs := make([]leaseRecord, thieves)
+	oks := make([]bool, thieves)
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		lm := newLeaseManager(fmt.Sprintf("thief-%d", i), time.Minute, LeaseHooks{})
+		lm.now = func() time.Time { return stealAt }
+		wg.Add(1)
+		go func(i int, lm *leaseManager) {
+			defer wg.Done()
+			rec, ok, err := lm.acquire(dir)
+			if err != nil {
+				t.Errorf("thief %d: %v", i, err)
+				return
+			}
+			recs[i], oks[i] = rec, ok
+		}(i, lm)
+	}
+	wg.Wait()
+
+	winners := 0
+	var winner leaseRecord
+	for i := range oks {
+		if oks[i] {
+			winners++
+			winner = recs[i]
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("racing steal elected %d winners, want exactly 1", winners)
+	}
+	if winner.Token != first.Token+1 {
+		t.Errorf("winner token = %d, want %d", winner.Token, first.Token+1)
+	}
+	final, err := readLease(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != winner {
+		t.Errorf("on-disk record %+v differs from winner's %+v", final, winner)
+	}
+}
+
+// TestLeaseTokenMonotonicAcrossSteals: a chain of expiries and steals by
+// alternating nodes only ever grows the token, by exactly one per
+// acquisition.
+func TestLeaseTokenMonotonicAcrossSteals(t *testing.T) {
+	dir := t.TempDir()
+	var last int64
+	at := time.Unix(1_700_000_000, 0)
+	for round := 0; round < 6; round++ {
+		lm := newLeaseManager(fmt.Sprintf("node-%d", round%2), 100*time.Millisecond, LeaseHooks{})
+		now := at
+		lm.now = func() time.Time { return now }
+		rec, ok, err := lm.acquire(dir)
+		if err != nil || !ok {
+			t.Fatalf("round %d: ok=%v err=%v", round, ok, err)
+		}
+		if rec.Token != last+1 {
+			t.Fatalf("round %d: token %d, want %d", round, rec.Token, last+1)
+		}
+		last = rec.Token
+		at = time.Unix(0, rec.Deadline) // next round steals exactly at expiry
+	}
+}
+
+// TestLeaseRenewal: renewal pushes the deadline forward for the holder,
+// reports ErrLeaseLost for a superseded token, and a renewal dropped by the
+// partition seam claims success while leaving the shared record untouched.
+func TestLeaseRenewal(t *testing.T) {
+	dir := t.TempDir()
+	lm, at := fixedClock("nodeA", time.Second)
+	rec, ok, err := lm.acquire(dir)
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+
+	*at = at.Add(500 * time.Millisecond)
+	if err := lm.renew(dir, rec.Token); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	cur, err := readLease(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := at.Add(time.Second).UnixNano(); cur.Deadline != want {
+		t.Errorf("renewed deadline = %d, want %d", cur.Deadline, want)
+	}
+
+	// A thief supersedes the token; the old owner's renewal is refused.
+	thief, thiefAt := fixedClock("nodeB", time.Second)
+	*thiefAt = time.Unix(0, cur.Deadline)
+	if _, ok, err := thief.acquire(dir); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if err := lm.renew(dir, rec.Token); !errors.Is(err, ErrLeaseLost) {
+		t.Errorf("stale renew = %v, want ErrLeaseLost", err)
+	}
+}
+
+func TestLeaseRenewalDroppedByPartition(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(faultinject.Plan{DropRenewalsFromCall: 1})
+	lm := newLeaseManager("nodeA", time.Second, LeaseHooks{DropRenewal: inj.RenewDropHook()})
+	at := time.Unix(1_700_000_000, 0)
+	lm.now = func() time.Time { return at }
+	rec, ok, err := lm.acquire(dir)
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+
+	at = at.Add(500 * time.Millisecond)
+	if err := lm.renew(dir, rec.Token); err != nil {
+		t.Fatalf("dropped renew reported %v, want nil (the node must not notice)", err)
+	}
+	cur, err := readLease(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Deadline != rec.Deadline {
+		t.Errorf("dropped renewal moved the deadline %d -> %d; the store must never see it",
+			rec.Deadline, cur.Deadline)
+	}
+	if fired := inj.Fired(); len(fired) != 1 || !strings.Contains(fired[0], "renewal-dropped") {
+		t.Errorf("injector fired %v, want one renewal-dropped", fired)
+	}
+}
+
+// TestLeaseRenewalUnderWriteStall: a stalled lease write (fsync pause)
+// delays hand-off but corrupts nothing — the renewal completes, the record
+// decodes, and the deadline lands where the renewal's clock put it.
+func TestLeaseRenewalUnderWriteStall(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(faultinject.Plan{
+		StallLeaseWriteAtCall: 2, // the renewal's write (acquire is call 1)
+		LeaseWriteStall:       50 * time.Millisecond,
+	})
+	lm, at := fixedClock("nodeA", time.Second)
+	lm.hooks = LeaseHooks{BeforeWrite: inj.LeaseWriteHook()}
+	rec, ok, err := lm.acquire(dir)
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+
+	*at = at.Add(300 * time.Millisecond)
+	start := time.Now()
+	if err := lm.renew(dir, rec.Token); err != nil {
+		t.Fatalf("stalled renew: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("renew took %v; the stall seam did not engage", elapsed)
+	}
+	cur, err := readLease(dir)
+	if err != nil {
+		t.Fatalf("record after stalled write: %v", err)
+	}
+	if want := at.Add(time.Second).UnixNano(); cur.Deadline != want {
+		t.Errorf("deadline after stalled renew = %d, want %d", cur.Deadline, want)
+	}
+	if fired := inj.Fired(); len(fired) != 1 || !strings.Contains(fired[0], "lease-write-stalled") {
+		t.Errorf("injector fired %v, want one lease-write-stalled", fired)
+	}
+}
+
+// TestLeaseReleaseKeepsFencingIdentity: release zeroes the deadline (anyone
+// may claim immediately) but keeps Node/Token, and the next acquisition
+// still bumps the token so the released owner's fence goes stale.
+func TestLeaseReleaseKeepsFencingIdentity(t *testing.T) {
+	dir := t.TempDir()
+	lm, _ := fixedClock("nodeA", time.Second)
+	rec, ok, err := lm.acquire(dir)
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if err := lm.release(dir, rec.Token); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	cur, err := readLease(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Deadline != 0 || cur.Node != "nodeA" || cur.Token != rec.Token {
+		t.Errorf("released record = %+v, want deadline 0 with identity kept", cur)
+	}
+
+	// Releasing a superseded token must not disturb the next owner.
+	lmB, _ := fixedClock("nodeB", time.Second)
+	next, ok, err := lmB.acquire(dir)
+	if err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	if next.Token != rec.Token+1 {
+		t.Errorf("post-release token = %d, want %d", next.Token, rec.Token+1)
+	}
+	if err := lm.release(dir, rec.Token); !errors.Is(err, ErrLeaseLost) {
+		t.Errorf("stale release = %v, want ErrLeaseLost", err)
+	}
+	if after, _ := readLease(dir); after != next {
+		t.Errorf("stale release disturbed the record: %+v, want %+v", after, next)
+	}
+	if err := lm.fence(dir, rec.Token)(); !errors.Is(err, ErrFenced) {
+		t.Errorf("released owner's fence = %v, want ErrFenced after reacquisition", err)
+	}
+}
+
+// TestLeaseCorruptRecordStealable: a hand-damaged lease record (the atomic
+// writer never tears one) is treated as expired — claimable — and the token
+// restarts from 1 without panicking.
+func TestLeaseCorruptRecordStealable(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, leaseName), []byte("{torn"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	lm, _ := fixedClock("nodeA", time.Second)
+	rec, ok, err := lm.acquire(dir)
+	if err != nil || !ok {
+		t.Fatalf("acquire over corrupt record: ok=%v err=%v", ok, err)
+	}
+	if rec.Token != 1 || rec.Node != "nodeA" {
+		t.Errorf("record after corrupt steal = %+v", rec)
+	}
+}
+
+func TestDecodeLeaseRecordValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		ok   bool
+	}{
+		{"valid", `{"node":"a","token":3,"deadline_unix_ns":5,"renewed_unix_ns":4}`, true},
+		{"never-leased", `{}`, true},
+		{"garbage", `{torn`, false},
+		{"negative-token", `{"node":"a","token":-1}`, false},
+		{"owner-zero-token", `{"node":"a","token":0}`, false},
+		{"negative-deadline", `{"node":"a","token":1,"deadline_unix_ns":-5}`, false},
+		{"negative-renewed", `{"node":"a","token":1,"renewed_unix_ns":-5}`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodeLeaseRecord([]byte(tc.data))
+			if (err == nil) != tc.ok {
+				t.Errorf("decode(%q) err = %v, want ok=%v", tc.data, err, tc.ok)
+			}
+		})
+	}
+}

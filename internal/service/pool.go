@@ -78,6 +78,7 @@ func (p *pool) runJob(j *Job) {
 		MaxAttempts: p.cfg.RetryCap,
 		BaseBackoff: p.cfg.RetryBackoff,
 		MaxBackoff:  8 * p.cfg.RetryBackoff,
+		RetryBudget: p.cfg.RetryBudget,
 		JitterSeed:  int64(j.Seq),
 		OnAttempt: func(at supervise.Attempt) {
 			if at.Err != "" {
@@ -91,16 +92,44 @@ func (p *pool) runJob(j *Job) {
 		j.mu.Unlock()
 		p.publish(j, Event{Kind: "attempt", Attempt: attempt})
 		code := p.runAttempt(actx, j, attempt)
+		if code == ExitFenced {
+			// The attempt's durable writes were refused by the lease
+			// fence: this node is a zombie for the job. Stop retrying —
+			// whoever stole the lease owns the work now.
+			if len(p.cfg.Exec) > 0 {
+				// In-process fences count themselves; a child process
+				// cannot reach the parent's counters, so its fenced exit
+				// is counted here.
+				p.store.fencedWrites.Add(1)
+			}
+			p.store.markLeaseLost(j)
+		}
 		if code != 0 {
 			return code, fmt.Errorf("worker attempt %d failed (code %d)", attempt, code)
 		}
 		return 0, nil
 	})
 
+	if p.store.isHalted() {
+		return // a dead node performs no transitions
+	}
+	j.mu.Lock()
+	lost := j.leaseLost
+	j.mu.Unlock()
+	if lost {
+		p.store.detach(j)
+		return
+	}
 	switch {
 	case rep.Succeeded:
 		p.publish(j, Event{Kind: "done"})
 		p.store.release(j, StateDone, "")
+	case rep.BudgetExhausted:
+		// The retry wall-clock budget ran out mid-failure: terminal, and
+		// distinct from the attempt-count cap so callers can tell the two
+		// exhaustions apart.
+		p.publish(j, Event{Kind: "retries_exhausted", Detail: lastErr})
+		p.store.release(j, StateRetriesExhausted, lastErr)
 	case actx.Err() != nil:
 		j.mu.Lock()
 		reason := j.preemptReason
@@ -140,11 +169,27 @@ func (p *pool) runInProcAttempt(ctx context.Context, j *Job, attempt int) (code 
 			code = exitFailure
 		}
 	}()
+	fence := p.store.fenceFor(j)
 	env := attemptEnv{
 		dir:     j.Dir,
 		attempt: attempt,
 		grace:   p.cfg.DrainGrace,
-		publish: func(e Event) { p.publish(j, e) },
+		fence:   fence,
+		publish: func(e Event) {
+			// The journal is a durable write like any other: a stale
+			// owner's events are fenced (and counted), not interleaved
+			// into a journal another node now owns.
+			if err := fence(); err != nil {
+				return
+			}
+			p.publish(j, e)
+		},
+		onFlow: func(cancel func()) {
+			j.mu.Lock()
+			j.hardCancel = cancel
+			j.mu.Unlock()
+		},
+		cacheDir: p.store.cacheRoot,
 	}
 	if p.cfg.Instrument != nil {
 		env.instrument = func(cfg *flow.Config, ck *flow.Checkpointing) {
@@ -160,11 +205,17 @@ func (p *pool) runInProcAttempt(ctx context.Context, j *Job, attempt int) (code 
 // SIGKILL after the grace. A child killed outright (chaos, OOM) surfaces
 // as a failed attempt and resumes from its checkpoint on retry.
 func (p *pool) runChildAttempt(ctx context.Context, j *Job, attempt int) int {
+	j.mu.Lock()
+	token := j.leaseToken
+	j.mu.Unlock()
 	cmd := exec.Command(p.cfg.Exec[0], p.cfg.Exec[1:]...)
 	cmd.Env = append(os.Environ(),
 		EnvRunJob+"="+j.Dir,
 		fmt.Sprintf("%s=%d", EnvAttempt, attempt),
 		EnvGrace+"="+p.cfg.DrainGrace.String(),
+		EnvNode+"="+p.cfg.NodeID,
+		fmt.Sprintf("%s=%d", EnvToken, token),
+		EnvCacheDir+"="+p.store.cacheRoot,
 	)
 	logf, err := os.OpenFile(j.Dir+"/worker.log", os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o666)
 	if err == nil {
@@ -177,6 +228,9 @@ func (p *pool) runChildAttempt(ctx context.Context, j *Job, attempt int) int {
 		return exitFailure
 	}
 	j.setPID(cmd.Process.Pid)
+	j.mu.Lock()
+	j.hardCancel = func() { cmd.Process.Kill() }
+	j.mu.Unlock()
 	j.hub.notify()
 	defer j.setPID(0)
 
@@ -217,8 +271,12 @@ func (p *pool) runChildAttempt(ctx context.Context, j *Job, attempt int) int {
 	return exitFailure
 }
 
-// publish journals an event for j and wakes its streamers.
+// publish journals an event for j and wakes its streamers. No-op on a
+// halted node: a dead process appends nothing.
 func (p *pool) publish(j *Job, e Event) {
+	if p.store.isHalted() {
+		return
+	}
 	if err := appendEvent(j.Dir, e); err != nil {
 		fmt.Fprintf(os.Stderr, "service: journaling %s event for %s: %v\n", e.Kind, j.ID, err)
 	}

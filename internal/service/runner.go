@@ -26,6 +26,11 @@ const (
 	// stopped at a snapshot boundary on request and wrote no outputs. The
 	// job must be requeued, not retried or failed.
 	ExitPreempted = 44
+	// ExitFenced reports that the attempt's durable writes were refused by
+	// the lease fence: this node's claim was superseded — the job belongs
+	// to another node now. The pool must detach (no retry, no release, no
+	// state writes); the thief's run is the only one that counts.
+	ExitFenced = 45
 	// exitFailure is an ordinary failed attempt (retry from checkpoint).
 	exitFailure = 1
 )
@@ -40,6 +45,14 @@ const (
 	// EnvGrace carries the preemption grace (time.Duration string) after
 	// which a stop request stops waiting for a checkpoint boundary.
 	EnvGrace = "CRPD_GRACE"
+	// EnvNode and EnvToken carry the parent's node id and claimed fencing
+	// token; the child fences its durable writes against the on-disk lease
+	// record and exits ExitFenced when superseded.
+	EnvNode  = "CRPD_NODE"
+	EnvToken = "CRPD_LEASE_TOKEN"
+	// EnvCacheDir carries the exact-result-cache root the child populates
+	// after a successful commit; empty skips population.
+	EnvCacheDir = "CRPD_CACHE_DIR"
 )
 
 // attemptEnv is everything one worker attempt needs beyond the job
@@ -54,8 +67,20 @@ type attemptEnv struct {
 	// instrument, when non-nil, may rewrite the attempt's flow config and
 	// checkpointing before the run — the service-level chaos seam.
 	instrument func(*flow.Config, *flow.Checkpointing)
-	// publish journals one event (and, in-process, wakes streamers).
+	// publish journals one event (and, in-process, wakes streamers). The
+	// caller is expected to have wrapped it in the fence: a stale owner's
+	// events must be dropped, not appended to a journal it no longer owns.
 	publish func(Event)
+	// fence guards every durable write of this attempt (checkpoints, final
+	// outputs, cache population) with the claim's lease token; nil runs
+	// unfenced (legacy single-node invocation).
+	fence func() error
+	// onFlow, when non-nil, receives the flow's hard-cancel as soon as it
+	// exists — the seam Halt uses to kill an in-process attempt instantly.
+	onFlow func(cancel func())
+	// cacheDir is the exact-result-cache root to populate on success;
+	// empty skips population.
+	cacheDir string
 }
 
 // runFlowAttempt executes one resume-or-start attempt of the job in
@@ -87,6 +112,9 @@ func runFlowAttempt(ctx context.Context, env attemptEnv) int {
 	// trips it when no boundary arrives in time.
 	fctx, fcancel := context.WithCancel(context.Background())
 	defer fcancel()
+	if env.onFlow != nil {
+		env.onFlow(fcancel)
+	}
 	go func() {
 		select {
 		case <-ctx.Done():
@@ -100,6 +128,13 @@ func runFlowAttempt(ctx context.Context, env attemptEnv) int {
 		case <-fctx.Done():
 		}
 	}()
+
+	if env.fence != nil {
+		// Every checkpoint snapshot and manifest commit now verifies the
+		// claim's token immediately before its publishing rename; a fenced
+		// save surfaces as a flow "checkpoint-write-failed" degradation.
+		mgr.SetGuard(env.fence)
+	}
 
 	cfg := spec.FlowConfig()
 	ck := &flow.Checkpointing{
@@ -143,8 +178,21 @@ func runFlowAttempt(ctx context.Context, env attemptEnv) int {
 	for _, dg := range res.Degradations {
 		out.Degradations = append(out.Degradations, dg.String())
 	}
-	if err := commitResult(env.dir, out, def.Bytes(), guide.Bytes()); err != nil {
+	if err := commitResult(env.dir, out, def.Bytes(), guide.Bytes(), env.fence); err != nil {
+		if errors.Is(err, ErrFenced) {
+			// The claim was superseded mid-run: this node is a zombie for
+			// the job. Nothing was published (the fence runs before every
+			// rename); hand the verdict to the pool.
+			return ExitFenced
+		}
 		return failAttempt(env, fmt.Errorf("committing outputs: %w", err))
+	}
+	if spec != nil {
+		if hash, err := specHash(*spec); err == nil {
+			// Best effort: a failed population only costs a future cache
+			// miss. The fence still guards the publishing rename.
+			populateCache(env.cacheDir, hash, env.dir, env.fence)
+		}
 	}
 	return 0
 }
@@ -157,20 +205,22 @@ func failAttempt(env attemptEnv, err error) int {
 }
 
 // commitResult atomically writes the job's final outputs and result
-// summary. Each file commits independently via temp+fsync+rename; the
-// result.json write is last, so its presence implies complete outputs.
-func commitResult(dir string, out result, defB, guideB []byte) error {
-	if err := atomicio.WriteFileBytes(filepath.Join(dir, "out.def"), defB); err != nil {
+// summary. Each file commits independently via temp+fsync+rename, with the
+// guard (the writer's lease fence; nil unfenced) verified immediately
+// before each rename; the result.json write is last, so its presence
+// implies complete outputs.
+func commitResult(dir string, out result, defB, guideB []byte, guard func() error) error {
+	if err := atomicio.WriteFileBytesGuarded(filepath.Join(dir, "out.def"), guard, defB); err != nil {
 		return err
 	}
-	if err := atomicio.WriteFileBytes(filepath.Join(dir, "out.guide"), guideB); err != nil {
+	if err := atomicio.WriteFileBytesGuarded(filepath.Join(dir, "out.guide"), guard, guideB); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
-	return atomicio.WriteFileBytes(filepath.Join(dir, "result.json"), data)
+	return atomicio.WriteFileBytesGuarded(filepath.Join(dir, "result.json"), guard, data)
 }
 
 func loadSpec(dir string) (*Spec, error) {
@@ -190,6 +240,9 @@ func loadSpec(dir string) (*Spec, error) {
 // exactly one attempt in an isolated process, so a worker crash — real
 // SIGKILL included — can never take the daemon or its other jobs down.
 // SIGTERM requests a checkpoint-backed preemption (exit ExitPreempted).
+// When the parent passed a node id and lease token (CRPD_NODE,
+// CRPD_LEASE_TOKEN), every durable write the child performs is fenced
+// against the on-disk lease record; a superseded child exits ExitFenced.
 // The returned value is the process exit code.
 func RunWorkerAttempt(dir string) int {
 	attempt, _ := strconv.Atoi(os.Getenv(EnvAttempt))
@@ -200,6 +253,8 @@ func RunWorkerAttempt(dir string) int {
 	if g, err := time.ParseDuration(os.Getenv(EnvGrace)); err == nil && g > 0 {
 		grace = g
 	}
+	token, _ := strconv.ParseInt(os.Getenv(EnvToken), 10, 64)
+	fence := staticFence(dir, os.Getenv(EnvNode), token)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	sig := make(chan os.Signal, 1)
@@ -216,6 +271,13 @@ func RunWorkerAttempt(dir string) int {
 		dir:     dir,
 		attempt: attempt,
 		grace:   grace,
-		publish: func(e Event) { appendEvent(dir, e) },
+		fence:   fence,
+		publish: func(e Event) {
+			if fence != nil && fence() != nil {
+				return // stale owner: the journal is not ours to append to
+			}
+			appendEvent(dir, e)
+		},
+		cacheDir: os.Getenv(EnvCacheDir),
 	})
 }

@@ -30,7 +30,8 @@ const maxSpecBytes = 64 << 20
 //	GET    /v1/jobs/{id}/guide  final route guide; ?best=1 as above
 //	POST   /v1/jobs/{id}/preempt checkpoint-backed preemption (requeue+resume)
 //	DELETE /v1/jobs/{id}        cancel
-//	GET    /v1/stats            service counters
+//	GET    /v1/stats            service counters (cache, fencing, shed)
+//	GET    /v1/nodes            daemons sharing this job store
 //	GET    /healthz             liveness
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -67,6 +68,13 @@ func (s *Service) Handler() http.Handler {
 		st := s.Stats()
 		st.Goroutines = runtime.NumGoroutine()
 		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		nodes := s.Nodes()
+		if nodes == nil {
+			nodes = []NodeStatus{}
+		}
+		writeJSON(w, http.StatusOK, nodes)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})

@@ -23,6 +23,9 @@ package service
 import (
 	"context"
 	"fmt"
+	"math"
+	"os"
+	"sync"
 	"time"
 
 	"github.com/crp-eda/crp/internal/flow"
@@ -66,6 +69,91 @@ type Config struct {
 	// applied in Exec mode (child processes are instrumented by killing
 	// them, which needs no seam).
 	Instrument func(jobID string, attempt int, cfg *flow.Config, ck *flow.Checkpointing)
+
+	// NodeID identifies this daemon in the shared store (default
+	// "node-<pid>"). Daemons sharing a DataDir MUST use distinct ids:
+	// the id is the lease owner, the fencing identity and the liveness
+	// record name.
+	NodeID string
+	// LeaseTTL is how long a job claim survives without heartbeat renewal
+	// before any node may steal it (default 10s). Failover latency and
+	// zombie-tolerance both scale with it.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the lease-renewal and liveness cadence (default
+	// LeaseTTL/4).
+	HeartbeatEvery time.Duration
+	// RescanEvery is how often the shared store is scanned for peers'
+	// jobs and expired leases to adopt (default LeaseTTL).
+	RescanEvery time.Duration
+	// LeaseHooks inject deterministic lease-layer faults — renewal drops
+	// (partitions), pre-write stalls — for the failover chaos suite.
+	LeaseHooks LeaseHooks
+	// RetryBudget caps one activation's total retry wall-clock (attempts
+	// plus backoffs); exhaustion is the terminal retries_exhausted state.
+	// 0 means uncapped.
+	RetryBudget time.Duration
+	// Shed enables rung two of the load-shed ladder — degraded admission
+	// near queue saturation. Nil disables that rung; cache serving and
+	// the structured 429 always apply.
+	Shed *ShedPolicy
+	// DisableCache turns off exact-result-cache serving at admission.
+	// Population still happens on success, so enabling later benefits
+	// from earlier runs.
+	DisableCache bool
+}
+
+// ShedPolicy tunes degraded admission: once the queue depth reaches
+// Threshold×QueueCap (but before it is full), each submission is admitted
+// with a clamped spec — fewer CR&P iterations, a tighter flow budget —
+// and every clamp is recorded in the spec's AdmissionDegradations, which
+// the flow folds into Result.Degradations. The caller always learns
+// exactly what admission took away.
+type ShedPolicy struct {
+	// Threshold is the engagement fraction of QueueCap (default 0.75).
+	Threshold float64
+	// MaxK caps a shed-admitted job's CR&P iteration count (default 2;
+	// negative leaves K alone).
+	MaxK int
+	// FlowBudgetMS tightens a shed-admitted job's whole-flow budget to at
+	// most this many milliseconds (0 leaves budgets alone).
+	FlowBudgetMS int64
+}
+
+// engageDepth is the queue depth at which the policy engages.
+func (p *ShedPolicy) engageDepth(queueCap int) int {
+	t := p.Threshold
+	if t <= 0 || t > 1 {
+		t = 0.75
+	}
+	at := int(math.Ceil(t * float64(queueCap)))
+	if at < 1 {
+		at = 1
+	}
+	return at
+}
+
+// clamp degrades sp in place, appending one AdmissionDegradations note
+// per clamp and returning the notes.
+func (p *ShedPolicy) clamp(sp *Spec) []string {
+	var notes []string
+	maxK := p.MaxK
+	if maxK == 0 {
+		maxK = 2
+	}
+	k := sp.K
+	if k == 0 {
+		k = flow.DefaultConfig().CRP.Iterations
+	}
+	if maxK > 0 && k > maxK {
+		sp.K = maxK
+		notes = append(notes, fmt.Sprintf("k clamped %d -> %d under load shed", k, maxK))
+	}
+	if p.FlowBudgetMS > 0 && (sp.FlowBudgetMS == 0 || sp.FlowBudgetMS > p.FlowBudgetMS) {
+		notes = append(notes, fmt.Sprintf("flow budget tightened to %dms under load shed", p.FlowBudgetMS))
+		sp.FlowBudgetMS = p.FlowBudgetMS
+	}
+	sp.AdmissionDegradations = append(sp.AdmissionDegradations, notes...)
+	return notes
 }
 
 func (c Config) withDefaults() Config {
@@ -90,31 +178,74 @@ func (c Config) withDefaults() Config {
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 10 * time.Second
 	}
+	if c.NodeID == "" {
+		c.NodeID = fmt.Sprintf("node-%d", os.Getpid())
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.LeaseTTL / 4
+	}
+	if c.RescanEvery <= 0 {
+		c.RescanEvery = c.LeaseTTL
+	}
 	return c
 }
 
-// Service is one running daemon instance.
+// Service is one running daemon instance — one node of the (possibly
+// multi-node) job store rooted at Config.DataDir.
 type Service struct {
-	cfg   Config
-	store *store
-	pool  *pool
+	cfg     Config
+	store   *store
+	pool    *pool
+	schedWG sync.WaitGroup
 }
 
 // New builds a service on cfg.DataDir, recovers any jobs a previous
 // daemon left behind (queued and running jobs re-enter the queue and
-// resume from their checkpoints), and starts the worker pool.
+// resume from their checkpoints; jobs another live node holds leases on
+// are tracked as remote), and starts the worker pool and the
+// heartbeat/scan scheduler.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("service: Config.DataDir is required")
 	}
 	st := newStore(cfg)
+	if err := st.ensureDirs(); err != nil {
+		return nil, fmt.Errorf("service: preparing %s: %w", cfg.DataDir, err)
+	}
 	if _, err := st.recover(); err != nil {
 		return nil, fmt.Errorf("service: recovering %s: %w", cfg.DataDir, err)
 	}
 	s := &Service{cfg: cfg, store: st, pool: newPool(cfg, st)}
 	s.pool.start()
+	s.schedWG.Add(1)
+	go s.schedule()
 	return s, nil
+}
+
+// schedule is the node-liveness loop: heartbeats renew this node's
+// record and its running jobs' leases; periodic scans reconcile the
+// shared store, adopting jobs whose owner died. Exits on drain or halt.
+func (s *Service) schedule() {
+	defer s.schedWG.Done()
+	s.store.heartbeat()
+	hb := time.NewTicker(s.cfg.HeartbeatEvery)
+	defer hb.Stop()
+	scan := time.NewTicker(s.cfg.RescanEvery)
+	defer scan.Stop()
+	for {
+		select {
+		case <-s.store.stopCh:
+			return
+		case <-hb.C:
+			s.store.heartbeat()
+		case <-scan.C:
+			s.store.scan()
+		}
+	}
 }
 
 // Submit admits a job (or rejects it with a structured *APIError).
@@ -170,5 +301,28 @@ func (s *Service) Cancel(id string) error {
 // from its checkpoints.
 func (s *Service) Drain(ctx context.Context) error {
 	s.store.beginDrain()
+	s.schedWG.Wait()
 	return s.pool.wait(ctx)
 }
+
+// Halt simulates this node dying without warning — the in-process
+// equivalent of SIGKILL, for the failover chaos suite. Heartbeats,
+// scheduling and every durable write stop immediately; leases are NOT
+// released and expire on their own; running attempts are hard-cancelled.
+// Another node sharing the store adopts the halted node's jobs once their
+// leases lapse and resumes them from their latest checkpoints. A halted
+// service supports only read-only calls and Drain (to reap its worker
+// goroutines); Halt is never undone.
+func (s *Service) Halt() {
+	s.store.halt()
+	s.schedWG.Wait()
+}
+
+// Nodes lists every daemon that has heartbeat into this store
+// (GET /v1/nodes).
+func (s *Service) Nodes() []NodeStatus { return s.store.nodes() }
+
+// Scan forces one reconciliation pass of the shared store — what the
+// scheduler does every RescanEvery. Tests (and impatient operators) use
+// it to adopt a dead peer's jobs without waiting out the scan interval.
+func (s *Service) Scan() { s.store.scan() }

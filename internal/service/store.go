@@ -2,12 +2,14 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/crp-eda/crp/internal/atomicio"
 )
@@ -62,6 +64,14 @@ func errBadSpec(msg string) *APIError {
 	return &APIError{Status: http.StatusBadRequest, Code: "bad_spec", Message: msg}
 }
 
+// errInvalidSpec is the value-sanity sibling of errBadSpec: the spec is
+// structurally a submission but carries NaN/negative/absurd values
+// (Spec.Validate's errInvalidValue). Distinct code so clients can tell
+// "you forgot a field" from "your numbers are garbage".
+func errInvalidSpec(msg string) *APIError {
+	return &APIError{Status: http.StatusBadRequest, Code: "invalid_spec", Message: msg}
+}
+
 func errConflict(msg string) *APIError {
 	return &APIError{Status: http.StatusConflict, Code: "conflict", Message: msg}
 }
@@ -75,6 +85,12 @@ func errConflict(msg string) *APIError {
 type store struct {
 	cfg Config
 
+	// lm performs this node's lease operations against the shared
+	// DataDir; every claim, heartbeat and steal goes through it.
+	lm        *leaseManager
+	cacheRoot string
+	nodesDir  string
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	jobs     map[string]*Job
@@ -83,30 +99,88 @@ type store struct {
 	seq      int
 	draining bool
 	drainCh  chan struct{} // closed when draining starts; wakes streamers
+	// halted simulates this node dying (SIGKILL): every durable write and
+	// state transition becomes a no-op, exactly as if the process were
+	// gone. Set only by Halt (chaos tests); never cleared.
+	halted bool
+	// stopCh stops the scheduler loop (heartbeats + store scans); closed
+	// on drain and on halt.
+	stopCh   chan struct{}
+	stopOnce sync.Once
+
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	fencedWrites atomic.Int64
+	steals       atomic.Int64
+	shedDegraded atomic.Int64
 }
 
 func newStore(cfg Config) *store {
 	st := &store{
-		cfg:     cfg,
-		jobs:    make(map[string]*Job),
-		running: make(map[string]*Job),
-		drainCh: make(chan struct{}),
+		cfg:       cfg,
+		lm:        newLeaseManager(cfg.NodeID, cfg.LeaseTTL, cfg.LeaseHooks),
+		cacheRoot: filepath.Join(cfg.DataDir, cacheDirName),
+		nodesDir:  filepath.Join(cfg.DataDir, nodesDirName),
+		jobs:      make(map[string]*Job),
+		running:   make(map[string]*Job),
+		drainCh:   make(chan struct{}),
+		stopCh:    make(chan struct{}),
 	}
 	st.cond = sync.NewCond(&st.mu)
 	return st
 }
 
-// submit admits a job or rejects it with a structured *APIError. On
-// success the job directory exists with spec.json, state.json and a
+// ensureDirs creates the store's shared-directory layout.
+func (st *store) ensureDirs() error {
+	for _, d := range []string{st.cfg.DataDir, st.cacheRoot, st.nodesDir} {
+		if err := os.MkdirAll(d, 0o777); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stop ends the scheduler loop. Idempotent.
+func (st *store) stop() { st.stopOnce.Do(func() { close(st.stopCh) }) }
+
+func (st *store) isHalted() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.halted
+}
+
+// submit admits a job or rejects it with a structured *APIError, walking
+// the load-shed ladder in order:
+//
+//  1. exact-cache serve — a hit completes immediately, consuming no queue
+//     slot, no worker and no lease, so it works even at full queue;
+//  2. degraded admission — near saturation (Config.Shed) the spec is
+//     clamped, with every clamp recorded in AdmissionDegradations;
+//  3. the structured queue_full 429.
+//
+// On success the job directory exists with spec.json, state.json and a
 // "submitted" journal event — enough for a restarted daemon to recover it.
 func (st *store) submit(spec Spec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
+		if errors.Is(err, errInvalidValue) {
+			return nil, errInvalidSpec(err.Error())
+		}
 		return nil, errBadSpec(err.Error())
 	}
+	if j, served, err := st.tryServeCached(spec); served {
+		return j, err
+	}
 	st.mu.Lock()
-	if st.draining {
+	if st.draining || st.halted {
 		st.mu.Unlock()
 		return nil, errDraining()
+	}
+	if shed := st.cfg.Shed; shed != nil &&
+		len(st.queue) >= shed.engageDepth(st.cfg.QueueCap) &&
+		len(st.queue) < st.cfg.QueueCap {
+		if notes := shed.clamp(&spec); len(notes) > 0 {
+			st.shedDegraded.Add(1)
+		}
 	}
 	if len(st.queue) >= st.cfg.QueueCap {
 		depth := len(st.queue)
@@ -118,19 +192,15 @@ func (st *store) submit(spec Spec) (*Job, error) {
 		st.mu.Unlock()
 		return nil, errTenantLimit(tenant, st.cfg.TenantMaxActive)
 	}
-	st.seq++
-	j := &Job{
-		ID:    fmt.Sprintf("j%06d", st.seq),
-		Seq:   st.seq,
-		Spec:  spec,
-		Dir:   filepath.Join(st.cfg.DataDir, fmt.Sprintf("j%06d", st.seq)),
-		state: StateQueued,
-	}
 	// Register (so concurrent admission checks count the job) but do NOT
 	// enqueue yet: a worker must never claim a job whose spec.json is not
 	// on disk.
-	st.jobs[j.ID] = j
+	j, err := st.allocLocked(spec)
 	st.mu.Unlock()
+	if err != nil {
+		return nil, &APIError{Status: http.StatusInternalServerError,
+			Code: "persist_failed", Message: err.Error()}
+	}
 
 	if err := st.persistSubmit(j); err != nil {
 		// Roll the admission back: a job we cannot persist cannot be
@@ -150,15 +220,96 @@ func (st *store) submit(spec Spec) (*Job, error) {
 	return j, nil
 }
 
-func (st *store) persistSubmit(j *Job) error {
-	if err := os.MkdirAll(j.Dir, 0o777); err != nil {
-		return err
+// allocLocked reserves the next free job id by creating its directory with
+// an exclusive os.Mkdir — the cross-node arbitration point on the shared
+// store: two nodes racing the same sequence number collide on the mkdir
+// and the loser advances to the next. The caller holds st.mu.
+func (st *store) allocLocked(spec Spec) (*Job, error) {
+	for {
+		st.seq++
+		id := fmt.Sprintf("j%06d", st.seq)
+		dir := filepath.Join(st.cfg.DataDir, id)
+		err := os.Mkdir(dir, 0o777)
+		if os.IsExist(err) {
+			continue // taken (by us historically, or by a peer just now)
+		}
+		if err != nil {
+			st.seq--
+			return nil, err
+		}
+		j := &Job{ID: id, Seq: st.seq, Spec: spec, Dir: dir, state: StateQueued}
+		st.jobs[id] = j
+		return j, nil
 	}
+}
+
+// tryServeCached is rung one of the shed ladder: when the exact result
+// cache holds the spec's canonical hash, a new job directory is created
+// with the cached artifacts copied in and the job completes on the spot —
+// zero attempts, zero queue footprint. served=false falls through to
+// normal admission.
+func (st *store) tryServeCached(spec Spec) (j *Job, served bool, err error) {
+	if st.cfg.DisableCache {
+		return nil, false, nil
+	}
+	hash, err := specHash(spec)
+	if err != nil {
+		return nil, false, nil
+	}
+	entry := cacheEntryDir(st.cacheRoot, hash)
+	if entry == "" {
+		st.cacheMisses.Add(1)
+		return nil, false, nil
+	}
+	st.mu.Lock()
+	if st.draining || st.halted {
+		st.mu.Unlock()
+		return nil, true, errDraining()
+	}
+	j, aerr := st.allocLocked(spec)
+	st.mu.Unlock()
+	if aerr != nil {
+		return nil, true, &APIError{Status: http.StatusInternalServerError,
+			Code: "persist_failed", Message: aerr.Error()}
+	}
+	j.mu.Lock()
+	j.state = StateDone
+	j.mu.Unlock()
+	perr := st.writeSpec(j)
+	if perr == nil {
+		perr = copyCachedArtifacts(entry, j.Dir)
+	}
+	if perr == nil {
+		perr = st.persistState(j)
+	}
+	if perr != nil {
+		st.mu.Lock()
+		delete(st.jobs, j.ID)
+		st.mu.Unlock()
+		return nil, true, &APIError{Status: http.StatusInternalServerError,
+			Code: "persist_failed", Message: perr.Error()}
+	}
+	appendEvent(j.Dir, Event{Kind: "submitted", K: j.Spec.K})
+	appendEvent(j.Dir, Event{Kind: "cache-hit", Detail: hash})
+	appendEvent(j.Dir, Event{Kind: "done"})
+	st.cacheHits.Add(1)
+	j.hub.notify()
+	return j, true, nil
+}
+
+func (st *store) writeSpec(j *Job) error {
 	spec, err := json.Marshal(j.Spec)
 	if err != nil {
 		return err
 	}
-	if err := atomicio.WriteFileBytes(filepath.Join(j.Dir, "spec.json"), spec); err != nil {
+	return atomicio.WriteFileBytes(filepath.Join(j.Dir, "spec.json"), spec)
+}
+
+func (st *store) persistSubmit(j *Job) error {
+	if err := os.MkdirAll(j.Dir, 0o777); err != nil {
+		return err
+	}
+	if err := st.writeSpec(j); err != nil {
 		return err
 	}
 	if err := st.persistState(j); err != nil {
@@ -207,24 +358,42 @@ func (st *store) dequeueLocked(j *Job) {
 	}
 }
 
-// next blocks until a runnable job exists and claims it, or returns nil
-// when the store is draining. Claiming scans the queue in admission order
-// but skips jobs whose tenant is at its running cap — a saturated tenant
-// cannot starve the others' queued work.
+// next blocks until a runnable job exists and claims it — including its
+// lease on the shared store — or returns nil when the store is draining or
+// halted. Claiming scans the queue in admission order but skips jobs whose
+// tenant is at its running cap — a saturated tenant cannot starve the
+// others' queued work. A job whose lease another node holds is dropped
+// from the local queue and tracked as remote; the scan loop re-adopts it
+// if that node dies.
 func (st *store) next() *Job {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for {
-		if st.draining {
+		if st.draining || st.halted {
 			return nil
 		}
-		for _, j := range st.queue {
+		for i := 0; i < len(st.queue); {
+			j := st.queue[i]
 			if st.runningLocked(j.Spec.tenant()) >= st.cfg.TenantMaxRunning {
+				i++
 				continue
 			}
-			st.dequeueLocked(j)
+			rec, ok, err := st.lm.acquire(j.Dir)
+			if err != nil || !ok {
+				// Another node owns this job (or the lease layer is
+				// wedged); it is not ours to run.
+				st.queue = append(st.queue[:i], st.queue[i+1:]...)
+				j.mu.Lock()
+				j.remote = true
+				j.mu.Unlock()
+				continue
+			}
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
 			j.mu.Lock()
 			j.state = StateRunning
+			j.leaseToken = rec.Token
+			j.remote = false
+			j.leaseLost = false
 			j.mu.Unlock()
 			st.running[j.ID] = j
 			return j
@@ -236,14 +405,25 @@ func (st *store) next() *Job {
 // release moves a claimed job out of the running set into its next state.
 // For StateQueued (preemption/drain) the job re-enters the queue in its
 // original admission order, so preemption cannot be used to jump the line.
+// The lease is released only after the state record is durably persisted,
+// so no other node can claim the job while its record is mid-transition.
+// On a halted node release is a no-op: a dead process performs no
+// transitions and its leases expire on their own.
 func (st *store) release(j *Job, next State, errMsg string) {
 	st.mu.Lock()
+	if st.halted {
+		st.mu.Unlock()
+		return
+	}
 	delete(st.running, j.ID)
 	j.mu.Lock()
+	token := j.leaseToken
+	j.leaseToken = 0
 	j.state = next
 	j.errMsg = errMsg
 	j.preempt = nil
 	j.preemptReason = ""
+	j.hardCancel = nil
 	j.workerPID = 0
 	if next == StateQueued {
 		j.preemptions++
@@ -260,8 +440,108 @@ func (st *store) release(j *Job, next State, errMsg string) {
 		appendEvent(j.Dir, Event{Kind: "degradation", Stage: "service",
 			Fault: "state-persist-failed", Detail: err.Error()})
 	}
+	if token != 0 {
+		st.lm.release(j.Dir, token)
+	}
 	st.cond.Broadcast()
 	j.hub.notify()
+}
+
+// detach abandons a claimed job whose lease this node lost: the thief owns
+// the directory now, so the ex-owner must not write state, journal events
+// or release the (superseded) lease — it only forgets its claim and tracks
+// the job as remote until a scan folds the thief's outcome back in.
+func (st *store) detach(j *Job) {
+	st.mu.Lock()
+	delete(st.running, j.ID)
+	j.mu.Lock()
+	j.leaseToken = 0
+	j.preempt = nil
+	j.preemptReason = ""
+	j.hardCancel = nil
+	j.workerPID = 0
+	j.remote = true
+	j.state = StateQueued // local view; the disk record is the thief's
+	j.mu.Unlock()
+	st.mu.Unlock()
+	st.cond.Broadcast()
+	j.hub.notify()
+}
+
+// markLeaseLost records that a running job's lease could not be renewed —
+// it expired (heartbeat stall, partition) and is another node's to steal.
+// The running attempt is cancelled; its in-flight writes are already
+// rejected by the superseded fencing token, and the pool detaches the job
+// instead of releasing it.
+func (st *store) markLeaseLost(j *Job) {
+	j.mu.Lock()
+	if j.leaseLost {
+		j.mu.Unlock()
+		return
+	}
+	j.leaseLost = true
+	j.preemptReason = "lease-lost"
+	cancel := j.preempt
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// halt simulates this node dying without warning — the in-process
+// equivalent of SIGKILL for the failover chaos suite. Nothing is released,
+// persisted or journaled from here on: leases stay un-released until they
+// expire and are stolen, running attempts are hard-cancelled (a dead
+// process computes nothing), and every later durable write is refused by
+// fenceFor. Never undone.
+func (st *store) halt() {
+	st.mu.Lock()
+	if st.halted {
+		st.mu.Unlock()
+		return
+	}
+	st.halted = true
+	running := make([]*Job, 0, len(st.running))
+	for _, j := range st.running {
+		running = append(running, j)
+	}
+	st.mu.Unlock()
+	st.stop()
+	st.cond.Broadcast()
+	for _, j := range running {
+		j.mu.Lock()
+		cancel := j.preempt
+		hard := j.hardCancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		if hard != nil {
+			hard()
+		}
+	}
+}
+
+// fenceFor builds the durable-write guard of j's current claim: the write
+// is refused when this node has been halted (a dead process writes
+// nothing) or when the claim's fencing token has been superseded on disk.
+// Every refusal is counted — the zombie's stale writes are a visible
+// degradation, not silent loss.
+func (st *store) fenceFor(j *Job) func() error {
+	j.mu.Lock()
+	token := j.leaseToken
+	j.mu.Unlock()
+	raw := st.lm.fence(j.Dir, token)
+	return func() error {
+		if st.isHalted() {
+			return fmt.Errorf("%w: node halted", ErrFenced)
+		}
+		if err := raw(); err != nil {
+			st.fencedWrites.Add(1)
+			return err
+		}
+		return nil
+	}
 }
 
 // get looks a job up.
@@ -317,8 +597,9 @@ func (st *store) preemptJob(j *Job, reason string) error {
 	}
 }
 
-// beginDrain closes admission and scheduling and asks every running job to
-// preempt at its next checkpoint boundary. Idempotent.
+// beginDrain closes admission and scheduling, stops the heartbeat/scan
+// loop, and asks every running job to preempt at its next checkpoint
+// boundary. Idempotent.
 func (st *store) beginDrain() {
 	st.mu.Lock()
 	if st.draining {
@@ -326,6 +607,7 @@ func (st *store) beginDrain() {
 		return
 	}
 	st.draining = true
+	st.stop()
 	close(st.drainCh)
 	running := make([]*Job, 0, len(st.running))
 	for _, j := range st.running {
@@ -343,13 +625,20 @@ func (st *store) stats() Stats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	s := Stats{
-		QueueDepth: len(st.queue),
-		QueueCap:   st.cfg.QueueCap,
-		Running:    len(st.running),
-		Workers:    st.cfg.Workers,
-		Draining:   st.draining,
-		Tenants:    map[string]TenantStats{},
-		States:     map[State]int{},
+		NodeID:       st.cfg.NodeID,
+		QueueDepth:   len(st.queue),
+		QueueCap:     st.cfg.QueueCap,
+		Running:      len(st.running),
+		Workers:      st.cfg.Workers,
+		Draining:     st.draining,
+		Halted:       st.halted,
+		CacheHits:    st.cacheHits.Load(),
+		CacheMisses:  st.cacheMisses.Load(),
+		FencedWrites: st.fencedWrites.Load(),
+		Steals:       st.steals.Load(),
+		ShedDegraded: st.shedDegraded.Load(),
+		Tenants:      map[string]TenantStats{},
+		States:       map[State]int{},
 	}
 	for _, j := range st.jobs {
 		state := j.currentState()
@@ -384,7 +673,15 @@ func (st *store) list() []Status {
 
 // status assembles a job's full status: in-memory control state plus
 // journal-derived progress and, when done, the persisted result summary.
+// A job another node owns is refreshed from its on-disk record first, so
+// any node in the shared store answers status queries for any job.
 func (st *store) status(j *Job) Status {
+	j.mu.Lock()
+	remote := j.remote && !j.state.terminal()
+	j.mu.Unlock()
+	if remote {
+		st.refreshRemote(j)
+	}
 	s := j.snapshot()
 	if evs, err := decodeJournal(j.Dir); err == nil {
 		s.Iter, s.K, s.TotalMoved = progress(evs)
@@ -455,6 +752,32 @@ func (st *store) recover() (int, error) {
 	return requeued, nil
 }
 
+// refreshRemote folds a remote job's persisted control-plane record into
+// the local view: its owner's state transitions — including terminal ones
+// — become visible here without any node-to-node channel beyond the store.
+func (st *store) refreshRemote(j *Job) {
+	data, err := os.ReadFile(filepath.Join(j.Dir, "state.json"))
+	if err != nil {
+		return
+	}
+	var rec jobRecord
+	if json.Unmarshal(data, &rec) != nil {
+		return
+	}
+	j.mu.Lock()
+	if j.remote && !j.state.terminal() {
+		if rec.State.terminal() {
+			j.state = rec.State
+			j.errMsg = rec.Error
+		} else if rec.State == StateRunning {
+			j.state = StateRunning
+		}
+		j.attempts = rec.Attempts
+		j.preemptions = rec.Preemptions
+	}
+	j.mu.Unlock()
+}
+
 func loadResult(dir string) (*result, error) {
 	data, err := os.ReadFile(filepath.Join(dir, "result.json"))
 	if err != nil {
@@ -469,14 +792,25 @@ func loadResult(dir string) (*result, error) {
 
 // Stats is the service-level counter snapshot (GET /v1/stats).
 type Stats struct {
-	QueueDepth int                    `json:"queue_depth"`
-	QueueCap   int                    `json:"queue_cap"`
-	Running    int                    `json:"running"`
-	Workers    int                    `json:"workers"`
-	Draining   bool                   `json:"draining"`
-	Goroutines int                    `json:"goroutines"`
-	Tenants    map[string]TenantStats `json:"tenants,omitempty"`
-	States     map[State]int          `json:"states,omitempty"`
+	NodeID     string `json:"node_id,omitempty"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Running    int    `json:"running"`
+	Workers    int    `json:"workers"`
+	Draining   bool   `json:"draining"`
+	Halted     bool   `json:"halted,omitempty"`
+	Goroutines int    `json:"goroutines"`
+	// CacheHits/CacheMisses count exact-result-cache outcomes at
+	// admission; FencedWrites counts zombie writes refused by the lease
+	// fence; Steals counts expired leases this node adopted; ShedDegraded
+	// counts submissions admitted with a load-shed-clamped spec.
+	CacheHits    int64                  `json:"cache_hits"`
+	CacheMisses  int64                  `json:"cache_misses"`
+	FencedWrites int64                  `json:"fenced_writes,omitempty"`
+	Steals       int64                  `json:"steals,omitempty"`
+	ShedDegraded int64                  `json:"shed_degraded,omitempty"`
+	Tenants      map[string]TenantStats `json:"tenants,omitempty"`
+	States       map[State]int          `json:"states,omitempty"`
 }
 
 // TenantStats is one tenant's share of the service.

@@ -1,0 +1,106 @@
+package supervise
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRetryBudgetExhaustedStopsBeforeBackoff: when the run's elapsed
+// wall-clock plus the pending backoff already exceeds the budget, the loop
+// stops with BudgetExhausted — without taking the sleep and without
+// consuming further attempts.
+func TestRetryBudgetExhaustedStopsBeforeBackoff(t *testing.T) {
+	clock := &fakeClock{}
+	calls := 0
+	rep := Run(Config{
+		MaxAttempts: 5,
+		RetryBudget: time.Nanosecond, // any failed attempt exhausts it
+		Sleep:       clock.sleep,
+	}, func(n int) (int, error) {
+		calls++
+		return 1, errors.New("always fails")
+	})
+	if rep.Succeeded || rep.Cancelled {
+		t.Fatalf("report = %+v, want plain budget exhaustion", rep)
+	}
+	if !rep.BudgetExhausted {
+		t.Fatal("BudgetExhausted not set")
+	}
+	if calls != 1 || len(rep.Attempts) != 1 {
+		t.Fatalf("ran %d attempts (%d recorded), want 1", calls, len(rep.Attempts))
+	}
+	if rep.Attempts[0].Backoff != 0 {
+		t.Fatalf("exhausted attempt records backoff %v, want 0 (never slept)", rep.Attempts[0].Backoff)
+	}
+	if len(clock.slept) != 0 {
+		t.Fatalf("slept %v after the budget ran out", clock.slept)
+	}
+}
+
+// TestRetryBudgetGenerousDoesNotInterfere: a budget far beyond the run's
+// wall-clock changes nothing — the attempt cap is still what ends the loop.
+func TestRetryBudgetGenerousDoesNotInterfere(t *testing.T) {
+	clock := &fakeClock{}
+	rep := Run(Config{
+		MaxAttempts: 3,
+		RetryBudget: time.Hour,
+		Sleep:       clock.sleep,
+	}, func(n int) (int, error) { return 1, errors.New("always fails") })
+	if rep.BudgetExhausted {
+		t.Fatal("a generous budget reported exhaustion")
+	}
+	if len(rep.Attempts) != 3 || len(clock.slept) != 2 {
+		t.Fatalf("attempts %d, sleeps %d; want the full capped schedule", len(rep.Attempts), len(clock.slept))
+	}
+}
+
+// TestRetryBudgetZeroIsUncapped: the zero value keeps the pre-existing
+// behaviour bit-for-bit — retries run to the attempt cap.
+func TestRetryBudgetZeroIsUncapped(t *testing.T) {
+	clock := &fakeClock{}
+	rep := Run(Config{MaxAttempts: 4, Sleep: clock.sleep},
+		func(n int) (int, error) { return 1, errors.New("always fails") })
+	if rep.BudgetExhausted {
+		t.Fatal("uncapped run reported budget exhaustion")
+	}
+	if len(rep.Attempts) != 4 {
+		t.Fatalf("attempts = %d, want the full cap of 4", len(rep.Attempts))
+	}
+}
+
+// TestRetryBudgetNeverCutsSuccess: the budget gates retries, not success —
+// a succeeding attempt completes no matter how small the budget is.
+func TestRetryBudgetNeverCutsSuccess(t *testing.T) {
+	rep := Run(Config{MaxAttempts: 5, RetryBudget: time.Nanosecond},
+		func(n int) (int, error) { return 0, nil })
+	if !rep.Succeeded || rep.BudgetExhausted {
+		t.Fatalf("report = %+v, want plain success", rep)
+	}
+}
+
+// TestRetryBudgetExhaustionOnLaterAttempt: the budget is consumed across
+// attempts and backoffs; a budget that allows one backoff but not two stops
+// after the second failure.
+func TestRetryBudgetExhaustionOnLaterAttempt(t *testing.T) {
+	clock := &fakeClock{}
+	calls := 0
+	rep := Run(Config{
+		MaxAttempts: 5,
+		BaseBackoff: time.Nanosecond,
+		RetryBudget: 50 * time.Millisecond,
+		Sleep:       clock.sleep,
+	}, func(n int) (int, error) {
+		calls++
+		if n == 2 {
+			time.Sleep(60 * time.Millisecond) // push elapsed past the budget
+		}
+		return 1, errors.New("always fails")
+	})
+	if !rep.BudgetExhausted {
+		t.Fatalf("report = %+v, want budget exhaustion after attempt 2", rep)
+	}
+	if calls != 2 || len(rep.Attempts) != 2 {
+		t.Fatalf("ran %d attempts, want 2", calls)
+	}
+}

@@ -38,6 +38,13 @@ type Config struct {
 	// half the base delay so restart stampedes decorrelate without making
 	// the schedule irreproducible.
 	JitterSeed int64
+	// RetryBudget caps the total wall-clock of one supervised run —
+	// attempts plus backoffs. A failure whose next backoff would land
+	// past the budget stops the loop with Report.BudgetExhausted instead
+	// of sleeping, so a deterministically-crashing job cannot occupy its
+	// worker slot for MaxAttempts × MaxBackoff. Zero means uncapped
+	// (the pre-existing behaviour).
+	RetryBudget time.Duration
 	// Sleep is the waiting seam; nil means a context-aware timer wait.
 	// Tests inject a recorder to assert the schedule without waiting it
 	// out. An injected Sleep cannot be interrupted mid-wait, but
@@ -104,6 +111,11 @@ type Report struct {
 	// final attempt was executing — rather than by success or cap
 	// exhaustion.
 	Cancelled bool `json:"cancelled,omitempty"`
+	// BudgetExhausted reports that Config.RetryBudget ran out: the last
+	// attempt failed and retrying was forbidden because the run's total
+	// wall-clock (plus the pending backoff) would exceed the budget. The
+	// job service maps this to its terminal "retries_exhausted" state.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
 }
 
 // Job runs one attempt and reports its exit code. A nil error with code 0
@@ -123,6 +135,7 @@ func Run(cfg Config, job Job) Report {
 func RunCtx(ctx context.Context, cfg Config, job Job) Report {
 	cfg = cfg.withDefaults()
 	jitter := rand.New(rand.NewSource(cfg.JitterSeed))
+	start := time.Now()
 	var rep Report
 	for n := 1; n <= cfg.MaxAttempts; n++ {
 		if ctx.Err() != nil {
@@ -156,6 +169,20 @@ func RunCtx(ctx context.Context, cfg Config, job Job) Report {
 		}
 		if n < cfg.MaxAttempts {
 			at.Backoff = backoff(cfg, jitter, n)
+		}
+		// Retry-budget check before committing to the backoff: if the run's
+		// elapsed wall-clock plus the sleep we are about to take already
+		// exceeds the budget, stop here rather than burn a slot on a retry
+		// that was only ever going to be cut short.
+		if cfg.RetryBudget > 0 && n < cfg.MaxAttempts &&
+			time.Since(start)+at.Backoff >= cfg.RetryBudget {
+			at.Backoff = 0
+			rep.Attempts = append(rep.Attempts, at)
+			if cfg.OnAttempt != nil {
+				cfg.OnAttempt(at)
+			}
+			rep.BudgetExhausted = true
+			return rep
 		}
 		rep.Attempts = append(rep.Attempts, at)
 		if cfg.OnAttempt != nil {
