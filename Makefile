@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race race-solver race-shard lint-state bench-smoke bench-json fuzz-smoke chaos crash-chaos service-chaos failover-chaos
+.PHONY: check vet build test race race-solver race-shard lint-state bench-smoke bench-json fuzz-smoke chaos crash-chaos service-chaos failover-chaos eco-chaos
 
 ## check: the full pre-merge gate — vet, build, state lint, race-enabled
 ## tests, bench smoke, chaos suite, crash-chaos suite, service-chaos suite,
-## failover-chaos suite, fuzz smoke.
-check: vet build lint-state race-solver race-shard race bench-smoke chaos crash-chaos service-chaos failover-chaos fuzz-smoke
+## failover-chaos suite, eco-chaos suite, fuzz smoke.
+check: vet build lint-state race-solver race-shard race bench-smoke chaos crash-chaos service-chaos failover-chaos eco-chaos fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -54,7 +54,7 @@ lint-state:
 ## bench-json: regenerate the BENCH_*.json performance snapshot
 ## (see EXPERIMENTS.md, "Performance architecture"). Override the target
 ## with BENCH=..., e.g. `make bench-json BENCH=BENCH_9.json`.
-BENCH ?= BENCH_9.json
+BENCH ?= BENCH_10.json
 bench-json:
 	$(GO) run ./cmd/benchreport -o $(BENCH)
 
@@ -90,6 +90,15 @@ failover-chaos:
 	$(GO) test -race -count=1 -run 'TestFailover|TestShedLadder|TestResultCache|TestRetryBudget|TestLease|TestDecodeLeaseRecord|TestNodesEndpoint' ./internal/service
 	$(GO) test -race -count=1 -run 'TestRetryBudget' ./internal/supervise
 
+## eco-chaos: the incremental-ECO battery — a crash mid-ECO reruns to
+## byte-identical outputs (ECO attempts are deterministic and carry no
+## checkpoints), a malformed or inadmissible delta is a structured rejection
+## before anything mutates, and the ECO-vs-scratch differential holds (see
+## EXPERIMENTS.md, "ECO runbook").
+eco-chaos:
+	$(GO) test -race -count=1 -run 'TestECO' ./internal/flow ./internal/service
+	$(GO) test -race -count=1 ./internal/eco
+
 ## fuzz-smoke: short coverage-guided runs of every fuzz target (one -fuzz
 ## per invocation — the go tool allows a single target at a time). The
 ## minimize cap keeps a new-coverage find from eating the whole budget.
@@ -104,3 +113,4 @@ fuzz-smoke:
 	$(GO) test ./internal/ilp -fuzz 'FuzzILPSolve$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
 	$(GO) test ./internal/service -fuzz 'FuzzSpecDecode$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
 	$(GO) test ./internal/service -fuzz 'FuzzLeaseRecord$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x
+	$(GO) test ./internal/eco -fuzz 'FuzzDeltaApply$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 20x

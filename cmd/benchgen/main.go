@@ -4,9 +4,18 @@
 // Usage:
 //
 //	benchgen -out ./benchmarks [-scale 0.02] [-circuit crp_test3] [-stats]
+//	benchgen -circuit crp_test3 -eco-delta edit.json [-eco-def run.def] [-eco-moves 8] [-eco-nets 2] [-eco-seed 1]
 //
 // With -stats only the statistics table is printed and no files are
-// written.
+// written. With -eco-delta a reproducible small edit (k moved cells, m
+// reconnected nets, seeded) against the named circuit is written in the
+// canonical delta-JSON form cmd/crp's -eco-delta and the service's ECO job
+// kind consume — the generator the differential suite and the ECO bench
+// share. Move targets must be free against the placement the delta will be
+// applied to, so when the parent is a finished run pass its output DEF via
+// -eco-def; without it the delta is generated against the circuit's
+// synthetic base placement and will usually collide with cells the parent
+// run moved.
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"github.com/crp-eda/crp/internal/eco"
 	"github.com/crp-eda/crp/internal/experiments"
 	"github.com/crp-eda/crp/internal/ispd"
 	"github.com/crp-eda/crp/internal/lefdef"
@@ -25,7 +35,59 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "fraction of the contest cell/net counts")
 	circuit := flag.String("circuit", "", "generate only this circuit (default: all ten)")
 	statsOnly := flag.Bool("stats", false, "print Table II statistics only, write nothing")
+	ecoDelta := flag.String("eco-delta", "", "write a seeded ECO delta (canonical JSON) to this path instead of LEF/DEF")
+	ecoDEF := flag.String("eco-def", "", "generate the -eco-delta edit against this placed DEF (e.g. the parent run's output) instead of the base placement")
+	ecoMoves := flag.Int("eco-moves", 8, "moved cells in the -eco-delta edit")
+	ecoNets := flag.Int("eco-nets", 2, "reconnected nets in the -eco-delta edit")
+	ecoSeed := flag.Int64("eco-seed", 1, "seed of the -eco-delta edit")
 	flag.Parse()
+
+	if *ecoDelta != "" {
+		if *circuit == "" {
+			fatal(fmt.Errorf("-eco-delta requires -circuit"))
+		}
+		var spec *ispd.Spec
+		for _, s := range ispd.Suite(*scale) {
+			if s.Name == *circuit {
+				sc := s
+				spec = &sc
+				break
+			}
+		}
+		if spec == nil {
+			fatal(fmt.Errorf("unknown circuit %q", *circuit))
+		}
+		d, err := ispd.Generate(*spec)
+		if err != nil {
+			fatal(err)
+		}
+		if *ecoDEF != "" {
+			f, err := os.Open(*ecoDEF)
+			if err != nil {
+				fatal(err)
+			}
+			placed, err := lefdef.ParseDEF(f, d.Tech, d.Macros)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("parsing -eco-def: %w", err))
+			}
+			d = placed
+		}
+		dl, err := eco.GenerateDelta(d, *ecoMoves, *ecoNets, *ecoSeed)
+		if err != nil {
+			fatal(err)
+		}
+		canon, err := dl.Canonical()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*ecoDelta, append(canon, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d moves, %d rewired nets (seed %d) -> %s\n",
+			*circuit, len(dl.Moves), len(dl.Nets), *ecoSeed, *ecoDelta)
+		return
+	}
 
 	if *statsOnly {
 		if err := experiments.Table2(os.Stdout, *scale); err != nil {

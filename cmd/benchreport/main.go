@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	benchreport [-o BENCH_9.json] [-scale 0.004] [-k 10] [-prev BENCH_7.json]
+//	benchreport [-o BENCH_10.json] [-scale 0.004] [-k 10] [-prev BENCH_9.json]
 //
 // The cache-off and cache-on flows run the same circuit with the same seeds;
 // the estimation caches are bit-transparent (see DESIGN.md, "Performance
@@ -44,6 +44,7 @@ import (
 	"github.com/crp-eda/crp/internal/atomicio"
 	"github.com/crp-eda/crp/internal/crp"
 	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/eco"
 	"github.com/crp-eda/crp/internal/flow"
 	"github.com/crp-eda/crp/internal/geom"
 	"github.com/crp-eda/crp/internal/grid"
@@ -112,6 +113,36 @@ type report struct {
 	// throughput, admission-latency percentiles, exact-result-cache hit
 	// rate, and checkpoint-preempt drain time with jobs still running.
 	ServiceBreakdown serviceBreakdown `json:"service_breakdown"`
+	// ECOBreakdown sweeps delta sizes through the incremental ECO entry
+	// point against from-scratch re-runs of the same edited design: wall
+	// clock, Algorithm 3 pricing work, and the quality delta at each size.
+	ECOBreakdown ecoBreakdown `json:"eco_breakdown"`
+}
+
+// ecoRow is one delta size of the eco_breakdown sweep: the same
+// (parent placement, delta) pair replayed through flow.RunECO and from
+// scratch. WorkRatio is scratch estimates over ECO estimates — the paper-
+// style work saving; WLDeltaPct the ECO wirelength relative to scratch.
+type ecoRow struct {
+	Moves            int     `json:"moves"`
+	Rewires          int     `json:"rewires"`
+	DirtyCells       int     `json:"dirty_cells"`
+	Rounds           int     `json:"rounds"`
+	FullRun          bool    `json:"full_run,omitempty"`
+	ECOWallS         float64 `json:"eco_wall_s"`
+	ScratchWallS     float64 `json:"scratch_wall_s"`
+	ECOEstimates     int64   `json:"eco_estimates"`
+	ScratchEstimates int64   `json:"scratch_estimates"`
+	WorkRatio        float64 `json:"work_ratio"`
+	WLDeltaPct       float64 `json:"wl_delta_pct"`
+}
+
+type ecoBreakdown struct {
+	Circuit string   `json:"circuit"`
+	Cells   int      `json:"cells"`
+	Nets    int      `json:"nets"`
+	K       int      `json:"k"`
+	Rows    []ecoRow `json:"rows"`
 }
 
 // serviceBreakdown is the crpd job-service section. The saturation round
@@ -446,6 +477,95 @@ func measureShardSweep(k int) (shardBreakdown, error) {
 	return sb, nil
 }
 
+// ecoSpec is the eco_breakdown circuit: crp_test7 at 1% scale (~1700
+// cells), the smallest suite member whose die dwarfs the fixed-size
+// legalizer window — below ~1000 cells no edit is local and the sweep
+// would measure nothing but the full-run fallback.
+func ecoSpec() ispd.Spec { return ispd.Suite(0.01)[6] }
+
+// measureECO fills the eco_breakdown section: one parent run, then a sweep
+// of delta sizes where each delta is replayed both through flow.RunECO and
+// as a from-scratch run of the edited design.
+func measureECO(k int) (ecoBreakdown, error) {
+	spec := ecoSpec()
+	eb := ecoBreakdown{Circuit: spec.Name, Cells: spec.Cells, Nets: spec.Nets, K: k}
+	cfg := flow.DefaultConfig()
+
+	parent, err := ispd.Generate(spec)
+	if err != nil {
+		return eb, err
+	}
+	if res := flow.RunCRP(context.Background(), parent, k, cfg); res.Failed {
+		return eb, fmt.Errorf("eco parent run failed: %v", res.Degradations)
+	}
+	pos, orient := parent.ExportPositions()
+
+	placed := func() (*db.Design, error) {
+		d, err := ispd.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		return d, d.ImportPositions(pos, orient)
+	}
+
+	for i, moves := range []int{1, 4, 16} {
+		base, err := placed()
+		if err != nil {
+			return eb, err
+		}
+		dl, err := eco.GenerateDelta(base, moves, 1, int64(100+i))
+		if err != nil {
+			return eb, err
+		}
+
+		scratchD, err := placed()
+		if err != nil {
+			return eb, err
+		}
+		if err := eco.ApplyToDesign(scratchD, dl); err != nil {
+			return eb, err
+		}
+		t0 := time.Now()
+		scratch := flow.RunCRP(context.Background(), scratchD, k, cfg)
+		scratchWall := time.Since(t0)
+		if scratch.Failed {
+			return eb, fmt.Errorf("eco scratch run failed: %v", scratch.Degradations)
+		}
+
+		ecoD, err := placed()
+		if err != nil {
+			return eb, err
+		}
+		t1 := time.Now()
+		res, err := flow.RunECO(context.Background(), ecoD, nil, dl, cfg, flow.ECOOptions{}, nil, nil)
+		ecoWall := time.Since(t1)
+		if err != nil {
+			return eb, err
+		}
+
+		row := ecoRow{
+			Moves: len(dl.Moves), Rewires: len(dl.Nets),
+			ECOWallS: ecoWall.Seconds(), ScratchWallS: scratchWall.Seconds(),
+			ScratchEstimates: scratch.CRPStats.CandidateEstimates,
+		}
+		if res.ECO != nil {
+			row.DirtyCells = res.ECO.DirtyCells
+			row.Rounds = res.ECO.Rounds
+			row.FullRun = res.ECO.FullRun
+			row.ECOEstimates = res.ECO.CandidateEstimates
+		}
+		if row.ECOEstimates > 0 {
+			row.WorkRatio = float64(row.ScratchEstimates) / float64(row.ECOEstimates)
+		}
+		if scratch.Metrics.WirelengthDBU > 0 {
+			row.WLDeltaPct = float64(res.Metrics.WirelengthDBU-scratch.Metrics.WirelengthDBU) /
+				float64(scratch.Metrics.WirelengthDBU) * 100
+		}
+		eb.Rows = append(eb.Rows, row)
+	}
+	return eb, nil
+}
+
 // svcSpec is one saturation-round job: a small synthetic circuit (distinct
 // per seed, so every spec is a cache miss the first time and an exact hit
 // the second) run for a single CR&P iteration.
@@ -615,11 +735,11 @@ func loadPrev(path string) (report, error) {
 
 func main() {
 	var (
-		out    = flag.String("o", "BENCH_9.json", "output path")
+		out    = flag.String("o", "BENCH_10.json", "output path")
 		scale  = flag.Float64("scale", 0.004, "suite scale (matches CRP_BENCH_SCALE)")
 		k      = flag.Int("k", 10, "CR&P iterations for the flow runs")
 		shardK = flag.Int("shard-k", 10, "CR&P iterations for the shard_breakdown sweep")
-		prev   = flag.String("prev", "BENCH_7.json", "previous snapshot for the before/continuity columns (\"\" = skip)")
+		prev   = flag.String("prev", "BENCH_9.json", "previous snapshot for the before/continuity columns (\"\" = skip)")
 		// Pre-refactor BenchmarkECCEstimateCosts record (scratch-buffer
 		// implementation, same fixture), measured immediately before the
 		// DesignView refactor landed.
@@ -682,6 +802,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
+	if rep.ECOBreakdown, err = measureECO(3); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
 
 	rep.Fig3Breakdown.After = rep.CacheOn
 	if *prev != "" {
@@ -729,4 +853,10 @@ func main() {
 		svb.Jobs, svb.Workers, svb.JobsPerSec,
 		svb.AdmitP50MS, svb.AdmitP99MS, svb.CachedAdmitP99MS, svb.CacheHitRate*100,
 		svb.DrainRunningJobs, svb.DrainQueuedJobs, svb.DrainS)
+	fmt.Printf("eco (%s, %d cells):", rep.ECOBreakdown.Circuit, rep.ECOBreakdown.Cells)
+	for _, row := range rep.ECOBreakdown.Rows {
+		fmt.Printf(" %d moves: %0.3fs vs %0.3fs scratch, %.1fx less work, WL %+.2f%%;",
+			row.Moves, row.ECOWallS, row.ScratchWallS, row.WorkRatio, row.WLDeltaPct)
+	}
+	fmt.Println()
 }

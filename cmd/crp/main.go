@@ -8,6 +8,16 @@
 //	crp -lef design.lef -def design.def [-k 10] [-out out.def] [-guide out.guide]
 //	    [-timeout 10m] [-iter-timeout 30s]
 //	    [-checkpoint-dir ckpt/] [-resume]
+//	    [-eco-from ckpt/ -eco-delta edit.json]
+//
+// With -eco-delta the command runs the incremental ECO entry point instead
+// of a full flow: the JSON delta (moved cells, rewired nets, added/removed
+// cells — see internal/eco) is applied transactionally and only the dirty
+// region is re-optimized, falling back to a full run when the edit is
+// structural or the dirty frontier keeps growing. -eco-from restores the
+// parent run's state from its checkpoint directory; without it the input
+// DEF's placement is taken as the parent state and global routing runs
+// fresh.
 //
 // Without -out/-guide the flow still runs and prints the metrics, so the
 // command doubles as an evaluator for the CR&P flow. With -timeout or
@@ -34,6 +44,8 @@ import (
 
 	"github.com/crp-eda/crp/internal/atomicio"
 	"github.com/crp-eda/crp/internal/checkpoint"
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/eco"
 	"github.com/crp-eda/crp/internal/eval"
 	"github.com/crp-eda/crp/internal/flow"
 	"github.com/crp-eda/crp/internal/grid"
@@ -61,6 +73,9 @@ func main() {
 		resume      = flag.Bool("resume", false, "continue from the newest checkpoint in -checkpoint-dir (fresh start if none)")
 		shardRegs   = flag.Int("shard-regions", 0, "target region count for sharded CR&P iterations (0 = serial)")
 		shardHalo   = flag.Int("shard-halo", 0, "GCell halo inflating region merge footprints (0 = default)")
+		ecoFrom     = flag.String("eco-from", "", "incremental re-run: checkpoint directory of the parent run")
+		ecoDelta    = flag.String("eco-delta", "", "incremental re-run: JSON delta file (moves/nets/adds/removes)")
+		ecoHalo     = flag.Int("eco-halo", 0, "ECO dirty-region halo in GCells (0 = default)")
 	)
 	flag.Parse()
 	if *lefPath == "" || *defPath == "" {
@@ -70,6 +85,10 @@ func main() {
 	}
 	if *resume && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "crp: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
+	if *ecoFrom != "" && *ecoDelta == "" {
+		fmt.Fprintln(os.Stderr, "crp: -eco-from requires -eco-delta")
 		os.Exit(2)
 	}
 
@@ -103,6 +122,11 @@ func main() {
 	cfg.Budgets.Flow = *timeout
 	cfg.Budgets.CRPIteration = *iterTimeout
 	ctx := context.Background()
+
+	if *ecoDelta != "" {
+		runECO(ctx, d, cfg, *ecoFrom, *ecoDelta, *ecoHalo, *k, *outDEF, *outGuide, *showPhase)
+		return
+	}
 
 	if *baseline {
 		res := flow.RunBaseline(ctx, d, cfg)
@@ -198,6 +222,83 @@ func main() {
 	}
 	if *outGuide != "" {
 		fmt.Printf("wrote %s\n", *outGuide)
+	}
+	reportDegradations(res)
+	if res.DeadlineHit() {
+		fmt.Fprintln(os.Stderr, "crp: wall-clock budget expired; outputs hold the best-so-far solution")
+		os.Exit(1)
+	}
+}
+
+// runECO executes the incremental entry point: parse and validate the delta
+// file, restore the parent state from the -eco-from checkpoint directory (or
+// route the input placement fresh when omitted), and run the convergence
+// ladder. Outputs are committed atomically like the full flow's.
+func runECO(ctx context.Context, d *db.Design, cfg flow.Config, fromDir, deltaPath string, halo, k int, outDEF, outGuide string, showPhase bool) {
+	raw, err := os.ReadFile(deltaPath)
+	if err != nil {
+		fatal(err)
+	}
+	delta, err := eco.Parse(raw)
+	if err != nil {
+		fatal(err)
+	}
+
+	var outs atomicio.Outputs
+	defer outs.Abort()
+	defW, err := outs.Create(outDEF)
+	if err != nil {
+		fatal(err)
+	}
+	guideW, err := outs.Create(outGuide)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := flow.ECOOptions{MaxIters: k, HaloGCells: halo}
+	var res *flow.Result
+	if fromDir != "" {
+		mgr, err := checkpoint.Open(fromDir, 0)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = flow.ECOFromCheckpoint(ctx, d, mgr, delta, cfg, opts, defW, guideW)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		res, err = flow.RunECO(ctx, d, nil, delta, cfg, opts, defW, guideW)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := outs.Commit(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("ECO: %v\n", res.Metrics)
+	es := res.ECO
+	fmt.Printf("delta: %d moves, %d rewired nets, %d adds, %d removes\n",
+		es.DeltaMoves, es.DeltaNets, es.DeltaAdds, es.DeltaRemoves)
+	if es.FullRun {
+		fmt.Println("convergence: full-run fallback")
+	} else {
+		fmt.Printf("convergence: %d round(s), dirty %d/%d cells, halo widened: %v\n",
+			es.Rounds, es.DirtyCells, es.TotalCells, es.HaloWidened)
+	}
+	fmt.Printf("work: %d candidate estimates, moved %d cells; runtime: GR %.2fs, CR&P %.2fs, DR %.2fs\n",
+		es.CandidateEstimates, res.CRPStats.TotalMoved,
+		res.Timings.GlobalRoute.Seconds(), res.Timings.Middle.Seconds(), res.Timings.DetailRoute.Seconds())
+	if showPhase {
+		ph := res.Timings.CRPPhases
+		fmt.Printf("phases: GCP %.2fs, ECC %.2fs, UD %.2fs, Misc %.2fs\n",
+			ph.GCP.Seconds(), ph.ECC.Seconds(), ph.UD.Seconds(), ph.Misc().Seconds())
+	}
+	if outDEF != "" {
+		fmt.Printf("wrote %s\n", outDEF)
+	}
+	if outGuide != "" {
+		fmt.Printf("wrote %s\n", outGuide)
 	}
 	reportDegradations(res)
 	if res.DeadlineHit() {

@@ -70,12 +70,12 @@ func main() {
 
 	var (
 		// Daemon mode.
-		listen     = flag.String("listen", "", "serve the job API on this address (daemon mode)")
-		dataDir    = flag.String("data-dir", "", "job state root (daemon mode; required with -listen)")
-		workers    = flag.Int("workers", 2, "concurrent job slots (daemon)")
-		queueCap   = flag.Int("queue-cap", 16, "bounded queue capacity (daemon)")
-		tenantAct  = flag.Int("tenant-cap-active", 0, "per-tenant queued+running cap, 0 = queue-cap (daemon)")
-		tenantRun  = flag.Int("tenant-cap-running", 0, "per-tenant running cap, 0 = workers (daemon)")
+		listen      = flag.String("listen", "", "serve the job API on this address (daemon mode)")
+		dataDir     = flag.String("data-dir", "", "job state root (daemon mode; required with -listen)")
+		workers     = flag.Int("workers", 2, "concurrent job slots (daemon)")
+		queueCap    = flag.Int("queue-cap", 16, "bounded queue capacity (daemon)")
+		tenantAct   = flag.Int("tenant-cap-active", 0, "per-tenant queued+running cap, 0 = queue-cap (daemon)")
+		tenantRun   = flag.Int("tenant-cap-running", 0, "per-tenant running cap, 0 = workers (daemon)")
 		retryCap    = flag.Int("retry-cap", 3, "attempts per job activation (daemon)")
 		retryBudget = flag.Duration("retry-budget", 0, "wall-clock cap per activation's retries, 0 = uncapped (daemon)")
 		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "wait for a checkpoint boundary before hard-cancelling (daemon)")

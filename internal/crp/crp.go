@@ -150,6 +150,13 @@ type Config struct {
 	// A region that exceeds it is discarded and redone on the serial path,
 	// recorded as a "shard-region-budget" degradation.
 	ShardRegionBudget time.Duration
+	// Scope, when non-nil, restricts Algorithm 1's candidate pool: only
+	// cells the predicate admits may be labelled critical. The ECO engine
+	// points it at the dirty-region tracker so re-labeling stays local to
+	// the edit — out-of-scope cells are never considered, consume no RNG
+	// draws, and their history sets are untouched. nil (the default)
+	// considers every movable cell, the full-run behaviour.
+	Scope func(id int32) bool
 	// Hooks are fault-injection/testing seams; zero value = none.
 	Hooks Hooks
 }
@@ -252,6 +259,12 @@ type ShardIterStats struct {
 type Result struct {
 	Iterations []IterStats
 	TotalMoved int
+	// CandidateEstimates counts Algorithm 3 candidate pricings performed by
+	// this engine — the work metric the ECO differential referee compares
+	// against a from-scratch run (ECO must price ≥10× fewer candidates on
+	// small deltas). Engine-lifetime, so a resumed engine counts only its
+	// own process's work.
+	CandidateEstimates int64
 	// Degradations aggregates every iteration's fault-tolerance events;
 	// empty on a clean run.
 	Degradations []Degradation
@@ -310,7 +323,16 @@ type Engine struct {
 	// broken latches an unrecoverable invariant violation (rollback did
 	// not restore consistency); Run stops iterating once set.
 	broken bool
+
+	// estimates counts Algorithm 3 candidate pricings over the engine's
+	// lifetime; atomic because pricing runs under parallelFor workers and
+	// the sharded region pipelines.
+	estimates atomic.Int64
 }
+
+// EstimateCount returns the number of candidate cost estimations the engine
+// has performed — the ECO work metric surfaced in Result.CandidateEstimates.
+func (e *Engine) EstimateCount() int64 { return e.estimates.Load() }
 
 // New builds an engine. The router must already hold the initial global
 // routing (the framework sits between global and detailed routing, Fig. 1).
@@ -379,6 +401,7 @@ func (e *Engine) Run(ctx context.Context) *Result {
 			break
 		}
 	}
+	res.CandidateEstimates = e.EstimateCount()
 	return res
 }
 
@@ -408,6 +431,7 @@ func (e *Engine) RunUntilConverged(ctx context.Context, maxIters, minMoves int) 
 			break
 		}
 	}
+	res.CandidateEstimates = e.EstimateCount()
 	return res
 }
 
@@ -451,6 +475,12 @@ func (e *Engine) labelCriticalCells() []int32 {
 	cells := make([]scored, 0, len(d.Cells))
 	for _, c := range d.Cells {
 		if c.Fixed {
+			continue
+		}
+		// The ECO scope filter runs before the sort and the damping draws:
+		// an out-of-scope cell affects neither the RNG stream consumed by
+		// in-scope labeling nor any history set.
+		if e.Cfg.Scope != nil && !e.Cfg.Scope(c.ID) {
 			continue
 		}
 		cells = append(cells, scored{c.ID, e.cellCost(c.ID)})
@@ -620,6 +650,7 @@ func resetGroupCosts(group []candidate) {
 }
 
 func (e *Engine) estimateCandidate(c *candidate, ov *view.Overlay) float64 {
+	e.estimates.Add(1)
 	// The hypothetical moves: the critical cell first, then the conflict
 	// cells in ascending ID order. Fixed order matters — the per-net costs
 	// are summed in discovery order, and float addition is not associative,

@@ -275,6 +275,74 @@ func (d *Design) Validate() error {
 	return nil
 }
 
+// ReconnectNet replaces net nid's cell-pin terminals with pins, keeping the
+// per-cell Nets indices consistent, and returns the previous pin list so the
+// owning transaction can undo the rewiring on Discard. Every PinRef is
+// validated before anything mutates; on error the net is untouched. IO
+// terminals are unaffected, and routing state is deliberately not touched —
+// callers reroute the net through the owning view.Txn.
+func (d *Design) ReconnectNet(nid int32, pins []PinRef) ([]PinRef, error) {
+	if nid < 0 || int(nid) >= len(d.Nets) {
+		return nil, fmt.Errorf("db: reconnect of unknown net %d (have %d nets)", nid, len(d.Nets))
+	}
+	n := d.Nets[nid]
+	for _, pr := range pins {
+		if pr.Cell < 0 || int(pr.Cell) >= len(d.Cells) {
+			return nil, fmt.Errorf("db: net %q reconnect references cell %d (have %d cells)", n.Name, pr.Cell, len(d.Cells))
+		}
+		c := d.Cells[pr.Cell]
+		if pr.Pin < 0 || int(pr.Pin) >= len(c.Macro.Pins) {
+			return nil, fmt.Errorf("db: net %q reconnect references pin %d of cell %q (macro %q has %d pins)",
+				n.Name, pr.Pin, c.Name, c.Macro.Name, len(c.Macro.Pins))
+		}
+	}
+	if len(pins)+len(n.IOs) < 2 {
+		return nil, fmt.Errorf("db: net %q reconnect would leave %d terminals", n.Name, len(pins)+len(n.IOs))
+	}
+	old := n.Pins
+	wasOn := make(map[int32]bool, len(old))
+	for _, pr := range old {
+		wasOn[pr.Cell] = true
+	}
+	n.Pins = append([]PinRef(nil), pins...)
+	isOn := make(map[int32]bool, len(n.Pins))
+	for _, pr := range n.Pins {
+		isOn[pr.Cell] = true
+	}
+	// Each cell's Nets list is touched at most once, so map iteration order
+	// does not matter: the lists stay sorted and deduplicated.
+	for cid := range wasOn {
+		if !isOn[cid] {
+			d.Cells[cid].Nets = removeSortedInt32(d.Cells[cid].Nets, nid)
+		}
+	}
+	for cid := range isOn {
+		if !wasOn[cid] {
+			d.Cells[cid].Nets = insertSortedInt32(d.Cells[cid].Nets, nid)
+		}
+	}
+	return old, nil
+}
+
+func removeSortedInt32(xs []int32, x int32) []int32 {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= x })
+	if i < len(xs) && xs[i] == x {
+		return append(xs[:i], xs[i+1:]...)
+	}
+	return xs
+}
+
+func insertSortedInt32(xs []int32, x int32) []int32 {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= x })
+	if i < len(xs) && xs[i] == x {
+		return xs
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = x
+	return xs
+}
+
 // MacroByName looks up a macro.
 func (d *Design) MacroByName(name string) (*Macro, bool) {
 	m, ok := d.macroByName[name]

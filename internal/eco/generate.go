@@ -1,0 +1,118 @@
+package eco
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/geom"
+)
+
+// GenerateDelta produces a seeded, reproducible small edit against the
+// design's current placement: k cells moved to nearby free sites and m nets
+// reconnected (one terminal swapped to another cell's pin). The same
+// (design, k, m, seed) always yields the same delta — benchgen's -eco-delta
+// mode, the differential tests, and the ECO bench all share this generator.
+//
+// Move targets are chosen so the batch is applicable atomically: each picked
+// span is checked free against current occupancy and against the spans other
+// picks in the batch already claimed. The generator is best-effort on dense
+// designs but errors if it cannot find a single requested edit.
+func GenerateDelta(d *db.Design, k, m int, seed int64) (*Delta, error) {
+	rng := rand.New(rand.NewSource(seed))
+	dl := &Delta{Design: d.Name}
+
+	var movable []int32
+	for _, c := range d.Cells {
+		if !c.Fixed {
+			movable = append(movable, c.ID)
+		}
+	}
+	if k > 0 && len(movable) == 0 {
+		return nil, fmt.Errorf("eco: design %q has no movable cells", d.Name)
+	}
+
+	siteW := d.Tech.Site.Width
+	claimed := map[int32][]geom.Interval{}
+	picked := map[int32]bool{}
+	for attempts := 0; len(dl.Moves) < k && attempts < k*60+60; attempts++ {
+		c := d.Cells[movable[rng.Intn(len(movable))]]
+		if picked[c.ID] {
+			continue
+		}
+		ri := c.Row + int32(rng.Intn(5)-2) // within ±2 rows of home
+		if ri < 0 || int(ri) >= len(d.Rows) {
+			continue
+		}
+		row := &d.Rows[ri]
+		span := row.Span(siteW)
+		sites := d.FreeSitesIn(ri, span.Lo, span.Hi, c.Macro.Width, map[int32]bool{c.ID: true})
+		var usable []int
+		for _, x := range sites {
+			if ri == c.Row && x == c.Pos.X {
+				continue
+			}
+			iv := geom.Iv(x, x+c.Macro.Width)
+			clash := false
+			for _, cl := range claimed[ri] {
+				if cl.Overlaps(iv) {
+					clash = true
+					break
+				}
+			}
+			if !clash {
+				usable = append(usable, x)
+			}
+		}
+		if len(usable) == 0 {
+			continue
+		}
+		x := usable[rng.Intn(len(usable))]
+		picked[c.ID] = true
+		claimed[ri] = append(claimed[ri], geom.Iv(x, x+c.Macro.Width))
+		dl.Moves = append(dl.Moves, CellMove{Cell: c.Name, X: x, Y: row.Y})
+	}
+	if k > 0 && len(dl.Moves) == 0 {
+		return nil, fmt.Errorf("eco: no free site found for any of %d requested moves", k)
+	}
+
+	rewiredNet := map[int32]bool{}
+	for attempts := 0; len(dl.Nets) < m && attempts < m*60+60; attempts++ {
+		n := d.Nets[rng.Intn(len(d.Nets))]
+		if rewiredNet[n.ID] || len(n.Pins) < 2 {
+			continue
+		}
+		idx := rng.Intn(len(n.Pins))
+		nc := d.Cells[rng.Intn(len(d.Cells))]
+		if len(nc.Macro.Pins) == 0 {
+			continue
+		}
+		pi := int32(rng.Intn(len(nc.Macro.Pins)))
+		repl := db.PinRef{Cell: nc.ID, Pin: pi}
+		dup := false
+		for i, pr := range n.Pins {
+			if i != idx && pr == repl {
+				dup = true
+				break
+			}
+		}
+		if dup || n.Pins[idx] == repl {
+			continue
+		}
+		pins := make([]PinRef, len(n.Pins))
+		for i, pr := range n.Pins {
+			src := pr
+			if i == idx {
+				src = repl
+			}
+			c := d.Cells[src.Cell]
+			pins[i] = PinRef{Cell: c.Name, Pin: c.Macro.Pins[src.Pin].Name}
+		}
+		rewiredNet[n.ID] = true
+		dl.Nets = append(dl.Nets, NetChange{Net: n.Name, Pins: pins})
+	}
+	if m > 0 && len(dl.Nets) == 0 {
+		return nil, fmt.Errorf("eco: no reconnectable net found for any of %d requested rewirings", m)
+	}
+	return dl, nil
+}

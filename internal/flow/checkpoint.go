@@ -167,6 +167,7 @@ func runCheckpointedLoop(ctx context.Context, s session, engine *crp.Engine, kEf
 			break
 		}
 	}
+	stats.CandidateEstimates = engine.EstimateCount()
 	return stats
 }
 

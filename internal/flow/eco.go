@@ -1,0 +1,356 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/crp-eda/crp/internal/checkpoint"
+	"github.com/crp-eda/crp/internal/crp"
+	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/eco"
+	"sort"
+
+	"github.com/crp-eda/crp/internal/geom"
+	"github.com/crp-eda/crp/internal/route/global"
+	"github.com/crp-eda/crp/internal/view"
+)
+
+// ECOOptions tunes the incremental re-run's convergence ladder. Zero values
+// take the defaults noted on each field.
+type ECOOptions struct {
+	// MaxIters caps each re-label round's CR&P iterations (0: 1 — each
+	// round is a single scoped labeling pass; iteration count comes from
+	// the ladder's rounds, which re-scope between passes).
+	MaxIters int
+	// MinMoves is the per-round convergence threshold: a round whose last
+	// iteration moves fewer cells stops (0: 1, full convergence).
+	MinMoves int
+	// HaloGCells sizes the dirty region's halo in GCells (0: 4) — the same
+	// interaction-margin idea as crp.Config.ShardHalo, inverted to scope
+	// work instead of splitting it.
+	HaloGCells int
+	// MaxRounds bounds the local re-label rounds per ladder rung before the
+	// next rung engages — widen halo, then full-run fallback (0: 3).
+	MaxRounds int
+}
+
+// ECOStats reports what the incremental entry point did: the delta's size,
+// how local the re-run stayed, and the work actually spent — the numbers the
+// ≥10×-less-work acceptance bar is checked against.
+type ECOStats struct {
+	DeltaMoves   int
+	DeltaNets    int
+	DeltaAdds    int
+	DeltaRemoves int
+	// DirtyCells is the number of cells inside the initial dirty region
+	// (the local rung's candidate pool); TotalCells the design size.
+	DirtyCells int
+	TotalCells int
+	// Rounds counts re-label rounds run (0 when the full-run fallback
+	// engaged immediately on a structural delta).
+	Rounds int
+	// HaloWidened / FullRun record which ladder rungs engaged; both are
+	// also visible as "eco"-stage entries in Result.Degradations.
+	HaloWidened bool
+	FullRun     bool
+	// CandidateEstimates is the total Algorithm 3 pricing work of the
+	// re-run (mirrors Result.CRPStats.CandidateEstimates).
+	CandidateEstimates int64
+}
+
+// appendRun folds one engine run into the aggregate CR&P stats of a
+// multi-round ECO re-run.
+func appendRun(dst, src *crp.Result) {
+	dst.Iterations = append(dst.Iterations, src.Iterations...)
+	dst.TotalMoved += src.TotalMoved
+	dst.CandidateEstimates += src.CandidateEstimates
+	dst.Degradations = append(dst.Degradations, src.Degradations...)
+}
+
+// RunECO is the incremental entry point: re-run CR&P after a small design
+// edit without paying for a full run. prev is the parent run's materialized
+// view state (nil: the parent's placement is already in d and global routing
+// runs fresh — the path used when only the parent's committed DEF survives).
+//
+// The delta is validated in full before anything mutates — a malformed edit
+// is a structured rejection, never a half-applied design. A non-structural
+// delta is applied through one view.Txn (journal-captured, invariant-checked)
+// and then climbs the convergence ladder:
+//
+//	rung 1: re-label locally — only cells intersecting the halo-inflated
+//	        dirty region are Algorithm 1 candidates; each round's moves
+//	        grow the region, and the loop exits early when the frontier
+//	        stops growing;
+//	rung 2: widen the halo once if the frontier is still growing after
+//	        MaxRounds rounds ("halo-widened" degradation);
+//	rung 3: full unscoped run ("full-run-fallback" degradation).
+//
+// A structural delta (added/removed cells) changes the cell-ID space, so it
+// rebuilds the design and takes rung 3 directly. Everything is
+// deterministic: rerunning the same (parent state, delta) yields
+// byte-identical outputs, which is what lets a crashed ECO job simply rerun
+// and what makes the service's parent-hash+delta cache key sound.
+func RunECO(ctx context.Context, d *db.Design, prev *view.State, delta *eco.Delta, cfg Config, opts ECOOptions, defOut, guideOut io.Writer) (*Result, error) {
+	if delta == nil {
+		return nil, errors.New("flow: RunECO needs a delta")
+	}
+	if delta.Structural() {
+		if prev != nil {
+			if err := d.ImportPositions(prev.Pos, prev.Orient); err != nil {
+				return nil, fmt.Errorf("flow: importing parent placement: %w", err)
+			}
+		}
+		d2, err := eco.ApplyStructural(d, delta)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunCRPWithOutputs(ctx, d2, 0, cfg, defOut, guideOut)
+		if err != nil {
+			return nil, err
+		}
+		res.Degradations = append([]Degradation{{
+			Stage: "eco", Kind: "full-run-fallback",
+			Detail: fmt.Sprintf("structural delta (%d adds, %d removes) rebuilds the design; no incremental path", len(delta.Adds), len(delta.Removes)),
+		}}, res.Degradations...)
+		res.ECO = &ECOStats{
+			DeltaMoves: len(delta.Moves), DeltaNets: len(delta.Nets),
+			DeltaAdds: len(delta.Adds), DeltaRemoves: len(delta.Removes),
+			TotalCells: len(d2.Cells), FullRun: true,
+			CandidateEstimates: res.CRPStats.CandidateEstimates,
+		}
+		return res, nil
+	}
+
+	ctx, cancel := flowCtx(ctx, cfg)
+	defer cancel()
+	res := newResult(cfg)
+	t0 := time.Now()
+
+	var s session
+	var tGR time.Duration
+	if prev != nil {
+		v, err := view.Rebuild(d, cfg.Grid, cfg.Global, *prev)
+		if err != nil {
+			return nil, fmt.Errorf("flow: rebuilding parent state: %w", err)
+		}
+		s = session{d, v.Grid(), v.Router(), v}
+	} else {
+		var gst global.Stats
+		s, gst, tGR = globalRoute(ctx, d, cfg, res)
+		res.GlobalStats = gst
+	}
+
+	// Validate against the live (parent) placement, then apply through one
+	// transaction. On any failure the transaction is discarded: the design,
+	// demand and routes are exactly the parent state again.
+	if err := delta.Validate(d); err != nil {
+		return nil, err
+	}
+	ops, err := delta.Resolve(d)
+	if err != nil {
+		return nil, err
+	}
+	txn := s.v.Begin(s.v.Version())
+	if err := txn.ApplyDelta(ops); err != nil {
+		txn.Discard()
+		return nil, fmt.Errorf("flow: applying eco delta: %w", err)
+	}
+	if err := txn.Check(); err != nil {
+		txn.Discard()
+		return nil, fmt.Errorf("flow: eco delta failed invariants: %w", err)
+	}
+	txn.Commit()
+
+	ccfg := crpConfig(cfg, 0)
+	gsz := s.g.GCellRect(0, 0).W()
+	if gsz <= 0 {
+		gsz = 1
+	}
+	halo := opts.HaloGCells
+	if halo <= 0 {
+		halo = 4
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 3
+	}
+	// The halo is HaloGCells routing GCells, clamped to 1/64 of the die: on a
+	// small design the grid can degenerate to a handful of die-sized GCells,
+	// and an unclamped halo would mark everything dirty — the ladder's
+	// widen/full-run rungs recover any interaction a tight halo misses.
+	haloDBU := halo * gsz
+	if m := min(d.Die.W(), d.Die.H()) / 64; m > 0 && haloDBU > m {
+		haloDBU = m
+	}
+	tracker := eco.NewTracker(d.Die, haloDBU)
+
+	// Seed the dirty region: each moved cell's new footprint (the move has
+	// already been applied through the transaction) plus a rect around every
+	// terminal of every net the delta perturbed (moved-cell nets and rewired
+	// nets alike were just rerouted). Cell footprints, not legalizer windows:
+	// the tracker's halo supplies the interaction margin, and a full window
+	// (NSites x NRows of slots) is die-scale on small designs — seeding with
+	// it marks most of the die dirty and defeats the locality the ladder
+	// exists to exploit. Terminals, not whole-net bounding boxes, for the
+	// same reason: a die-spanning net would coalesce to the whole die.
+	seedNets := map[int32]bool{}
+	for _, mv := range delta.Moves {
+		c, _ := d.CellByName(mv.Cell)
+		tracker.Add(c.Rect())
+		for _, nid := range c.Nets {
+			seedNets[nid] = true
+		}
+	}
+	for _, nc := range ops.Nets {
+		seedNets[nc.Net] = true
+	}
+	nids := make([]int32, 0, len(seedNets))
+	for nid := range seedNets {
+		nids = append(nids, nid)
+	}
+	sort.Slice(nids, func(a, b int) bool { return nids[a] < nids[b] })
+	for _, nid := range nids {
+		for _, p := range d.NetPinPositions(d.Nets[nid]) {
+			tracker.Add(geom.Rect{Lo: p, Hi: p.Add(geom.Pt(1, 1))})
+		}
+	}
+
+	scope := func(id int32) bool { return tracker.Overlaps(d.Cells[id].Rect()) }
+	dirty := 0
+	for _, c := range d.Cells {
+		if scope(c.ID) {
+			dirty++
+		}
+	}
+
+	iters := opts.MaxIters
+	if iters <= 0 {
+		iters = 1
+	}
+	stats := &crp.Result{}
+	rounds, rungRounds := 0, 0
+	widened, fullRun := false, false
+	for {
+		if err := ctx.Err(); err != nil {
+			res.degrade("eco", "run-cancelled", err.Error())
+			break
+		}
+		rounds++
+		rungRounds++
+		rcfg := ccfg
+		rcfg.Scope = scope
+		engine := crp.New(s.d, s.g, s.r, rcfg)
+		pre, _ := d.ExportPositions()
+		r := engine.RunUntilConverged(ctx, iters, opts.MinMoves)
+		appendRun(stats, r)
+		res.absorbCRP(r)
+		if engine.Broken() {
+			break
+		}
+		// Grow the frontier by each mover's old and new footprint. The
+		// halo-inflated footprints — not legalizer windows — are the growth
+		// unit: any cell the move displaced or any net it stretched will
+		// itself show up as a mover (or a demand shift inside the halo) in
+		// the next round, so the frontier follows the real perturbation
+		// instead of coalescing window-sized rects into the whole die.
+		post, _ := d.ExportPositions()
+		areaBefore := tracker.Area()
+		for i := range post {
+			if post[i] == pre[i] {
+				continue
+			}
+			c := d.Cells[i]
+			tracker.Add(c.RectAt(pre[i]))
+			tracker.Add(c.Rect())
+		}
+		// Only material growth (>10% of the region per round) keeps the
+		// ladder climbing: the parent run is not a fixed point, so scoped
+		// re-labeling always finds a stray profitable move somewhere, and a
+		// single far-flung mover must not read as an expanding perturbation.
+		grew := 10*tracker.Area() > 11*areaBefore
+		if r.TotalMoved == 0 || !grew {
+			break // converged, or the frontier stopped growing: done
+		}
+		// Locality is lost once the dirty region reaches half the die (Area
+		// is an upper bound, so this is conservative): scoping buys nothing
+		// and the honest answer is an unscoped run.
+		coverLost := tracker.CoversDie() || tracker.Area() >= d.Die.Area()/2
+		if !coverLost && rungRounds < maxRounds {
+			continue
+		}
+		// Widen only while the region is still compact (≤ 1/8 of the die):
+		// inflating an already-sprawling region just manufactures the
+		// coverage loss the fallback gate watches for.
+		if !coverLost && !widened && tracker.Area() <= d.Die.Area()/8 {
+			widened = true
+			rungRounds = 0
+			tracker.Widen(2 * haloDBU)
+			res.degrade("eco", "halo-widened",
+				fmt.Sprintf("dirty frontier still growing after %d local rounds; halo widened", rounds))
+			continue
+		}
+		if coverLost {
+			fullRun = true
+			res.degrade("eco", "full-run-fallback",
+				fmt.Sprintf("dirty region reached %d%% of the die after %d rounds; running unscoped", 100*tracker.Area()/d.Die.Area(), rounds))
+			fe := crp.New(s.d, s.g, s.r, ccfg)
+			fr := fe.Run(ctx)
+			appendRun(stats, fr)
+			res.absorbCRP(fr)
+			break
+		}
+		// Still-moving frontier after both local rungs, but the region is
+		// small: the bounded local refinement stands. The residual motion is
+		// ordinary optimization pressure (the parent run was not a fixed
+		// point), not unabsorbed delta disruption — rerunning to quiescence
+		// would just re-optimize the whole design through a peephole.
+		res.degrade("eco", "frontier-active",
+			fmt.Sprintf("dirty frontier still active after %d rounds; keeping the local result", rounds))
+		break
+	}
+	tMid := time.Since(t0) - tGR
+
+	m, tDR := detailRoute(ctx, s, cfg, res)
+	if err := writeRunOutputs(s, defOut, guideOut); err != nil {
+		return nil, err
+	}
+	res.Metrics = m
+	res.CRPStats = stats
+	res.ECO = &ECOStats{
+		DeltaMoves: len(delta.Moves), DeltaNets: len(delta.Nets),
+		DirtyCells: dirty, TotalCells: len(d.Cells),
+		Rounds: rounds, HaloWidened: widened, FullRun: fullRun,
+		CandidateEstimates: stats.CandidateEstimates,
+	}
+	res.Timings = Timings{
+		GlobalRoute: tGR,
+		Middle:      tMid,
+		DetailRoute: tDR,
+		Total:       tGR + tMid + tDR,
+		CRPPhases:   stats.Times(),
+	}
+	return res, nil
+}
+
+// ECOFromCheckpoint runs RunECO from a parent run's newest checkpoint
+// snapshot — the cmd/crp `-eco-from <ckpt> -eco-delta <json>` path. d must
+// be the same design the parent run loaded; identity is validated against
+// the snapshot before anything runs.
+func ECOFromCheckpoint(ctx context.Context, d *db.Design, mgr *checkpoint.Manager, delta *eco.Delta, cfg Config, opts ECOOptions, defOut, guideOut io.Writer) (*Result, error) {
+	if mgr == nil {
+		return nil, errors.New("flow: ECOFromCheckpoint needs a checkpoint manager")
+	}
+	snap, _, err := mgr.Latest()
+	if err != nil {
+		return nil, err
+	}
+	if snap.DesignName != d.Name || snap.Cells != len(d.Cells) || snap.Nets != len(d.Nets) {
+		return nil, fmt.Errorf("flow: checkpoint is for design %q (%d cells, %d nets), input is %q (%d cells, %d nets)",
+			snap.DesignName, snap.Cells, snap.Nets, d.Name, len(d.Cells), len(d.Nets))
+	}
+	st := snap.ViewState()
+	return RunECO(ctx, d, &st, delta, cfg, opts, defOut, guideOut)
+}

@@ -117,6 +117,9 @@ type Result struct {
 	BaselineStats *medianilp.Result
 	// GlobalStats reports the initial global routing.
 	GlobalStats global.Stats
+	// ECO reports what the incremental entry point did; nil unless the run
+	// came through RunECO.
+	ECO *ECOStats
 	// Degradations lists every fault-tolerance event of the run, in stage
 	// order; empty on a clean run.
 	Degradations []Degradation

@@ -6,6 +6,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/crp-eda/crp/internal/eco"
 )
 
 // Exact result cache.
@@ -42,6 +47,50 @@ func specHash(sp Spec) (string, error) {
 	data, err := json.Marshal(canon)
 	if err != nil {
 		return "", fmt.Errorf("service: hashing spec: %w", err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data)), nil
+}
+
+// jobHash computes the canonical cache key of any spec. Plain jobs hash
+// their canonical spec JSON; ECO jobs chain through ecoJobHash so the key
+// names the parent's content, not its job id.
+func jobHash(sp Spec, dataDir string) (string, error) {
+	if sp.isECO() {
+		return ecoJobHash(sp, dataDir)
+	}
+	return specHash(sp)
+}
+
+// ecoJobHash is the ECO cache key: the spec with Tenant cleared,
+// ParentJob replaced by the parent's own canonical hash (recursively, so
+// ECO-of-ECO chains stay content-addressed), and ECODelta replaced by the
+// delta's canonical JSON. Two ECO submissions naming different parent job
+// ids that ran byte-identical computations therefore share one entry, and
+// any change to the parent's spec or the edit changes the key.
+func ecoJobHash(sp Spec, dataDir string) (string, error) {
+	parentSpec, err := loadSpec(filepath.Join(dataDir, sp.ParentJob))
+	if err != nil {
+		return "", fmt.Errorf("service: loading eco parent spec: %w", err)
+	}
+	parentHash, err := jobHash(*parentSpec, dataDir)
+	if err != nil {
+		return "", err
+	}
+	dl, err := eco.Parse(sp.ECODelta)
+	if err != nil {
+		return "", err
+	}
+	canon, err := dl.Canonical()
+	if err != nil {
+		return "", err
+	}
+	key := sp
+	key.Tenant = ""
+	key.ParentJob = parentHash
+	key.ECODelta = canon
+	data, err := json.Marshal(key)
+	if err != nil {
+		return "", fmt.Errorf("service: hashing eco spec: %w", err)
 	}
 	return fmt.Sprintf("%x", sha256.Sum256(data)), nil
 }
@@ -114,4 +163,75 @@ func copyFile(src, dst string) error {
 		return err
 	}
 	return os.WriteFile(dst, data, 0o666)
+}
+
+// touchCacheEntry bumps an entry's recency stamp (result.json mtime) so
+// LRU eviction spares recently served entries. Best effort.
+func touchCacheEntry(entryDir string) {
+	now := time.Now()
+	os.Chtimes(filepath.Join(entryDir, "result.json"), now, now)
+}
+
+// cacheEntry is one published entry's eviction bookkeeping.
+type cacheEntry struct {
+	dir   string
+	mtime time.Time
+	bytes int64
+}
+
+// evictCache enforces the cache's entry-count and byte-size bounds
+// (0 = unbounded) by removing least-recently-used entries — recency is the
+// result.json mtime, which population sets and every cache hit touches.
+// Staging directories are skipped; a malformed entry (no result.json)
+// counts as infinitely old and goes first. Returns how many entries were
+// evicted.
+func evictCache(cacheRoot string, maxEntries int, maxBytes int64) int {
+	if cacheRoot == "" || (maxEntries <= 0 && maxBytes <= 0) {
+		return 0
+	}
+	ents, err := os.ReadDir(cacheRoot)
+	if err != nil {
+		return 0
+	}
+	var entries []cacheEntry
+	var total int64
+	for _, ent := range ents {
+		if !ent.IsDir() || strings.HasPrefix(ent.Name(), ".") {
+			continue
+		}
+		dir := filepath.Join(cacheRoot, ent.Name())
+		e := cacheEntry{dir: dir}
+		if fi, err := os.Stat(filepath.Join(dir, "result.json")); err == nil {
+			e.mtime = fi.ModTime()
+		}
+		if files, err := os.ReadDir(dir); err == nil {
+			for _, f := range files {
+				if fi, err := f.Info(); err == nil {
+					e.bytes += fi.Size()
+				}
+			}
+		}
+		total += e.bytes
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if !entries[a].mtime.Equal(entries[b].mtime) {
+			return entries[a].mtime.Before(entries[b].mtime)
+		}
+		return entries[a].dir < entries[b].dir
+	})
+	evicted := 0
+	for _, e := range entries {
+		over := (maxEntries > 0 && len(entries)-evicted > maxEntries) ||
+			(maxBytes > 0 && total > maxBytes)
+		if !over {
+			break
+		}
+		if err := os.RemoveAll(e.dir); err != nil {
+			continue
+		}
+		total -= e.bytes
+		evicted++
+	}
+	return evicted
 }

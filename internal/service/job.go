@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"github.com/crp-eda/crp/internal/db"
+	"github.com/crp-eda/crp/internal/eco"
 	"github.com/crp-eda/crp/internal/flow"
 	"github.com/crp-eda/crp/internal/ispd"
 	"github.com/crp-eda/crp/internal/lefdef"
@@ -95,7 +97,21 @@ type Spec struct {
 	// took away. Client-supplied values are rejected at validation: only
 	// the daemon writes this field.
 	AdmissionDegradations []string `json:"admission_degradations,omitempty"`
+
+	// ParentJob + ECODelta submit an incremental ECO job: the base design
+	// is the committed out.def of the (done) parent job, and ECODelta is
+	// the delta JSON internal/eco parses. ECO jobs carry no design of their
+	// own — both fields must be present together, and are mutually
+	// exclusive with LEF/DEF and Synthetic. The cache key folds the
+	// parent's own canonical hash plus the canonical delta, so two ECO
+	// submissions against byte-identical parents with the same edit hit
+	// the same entry even across job ids.
+	ParentJob string          `json:"parent_job,omitempty"`
+	ECODelta  json.RawMessage `json:"eco_delta,omitempty"`
 }
+
+// isECO reports whether the spec is an incremental ECO submission.
+func (sp *Spec) isECO() bool { return sp.ParentJob != "" && len(sp.ECODelta) > 0 }
 
 // errInvalidValue marks a spec field whose value is syntactically valid
 // JSON but semantically absurd — NaN, negative budgets, parameter values
@@ -134,8 +150,23 @@ func (sp *Spec) Validate() error {
 	if inline && sp.Synthetic != nil {
 		return errors.New("submit either inline lef/def or a synthetic spec, not both")
 	}
-	if !inline && sp.Synthetic == nil {
-		return errors.New("submission carries no design (lef/def or synthetic)")
+	ecoHalf := sp.ParentJob != "" || len(sp.ECODelta) > 0
+	if ecoHalf && !sp.isECO() {
+		return errors.New("eco submission needs both parent_job and eco_delta")
+	}
+	if sp.isECO() && (inline || sp.Synthetic != nil) {
+		return errors.New("eco submission references its parent's design; drop lef/def/synthetic")
+	}
+	if !inline && sp.Synthetic == nil && !sp.isECO() {
+		return errors.New("submission carries no design (lef/def, synthetic, or parent_job+eco_delta)")
+	}
+	if sp.isECO() {
+		// Strict parse up front: a malformed delta is rejected at admission
+		// with the structured invalid_spec code, before any queue slot,
+		// worker or parent lookup is spent on it.
+		if _, err := eco.Parse(sp.ECODelta); err != nil {
+			return fmt.Errorf("%v: %w", err, errInvalidValue)
+		}
 	}
 	if sp.K < 0 || sp.Gamma < 0 || sp.Gamma > 1 {
 		return errors.New("k must be >= 0 and gamma in [0, 1]")
@@ -224,6 +255,9 @@ func (sp *Spec) FlowConfig() flow.Config {
 // so every attempt — possibly in a different process — sees identical
 // input.
 func (sp *Spec) Design() (*db.Design, error) {
+	if sp.isECO() {
+		return nil, errors.New("eco spec has no design of its own; rebuild it from the parent job")
+	}
 	if sp.Synthetic != nil {
 		return ispd.Generate(*sp.Synthetic)
 	}
@@ -255,14 +289,26 @@ type Metrics struct {
 	Truncated     bool    `json:"truncated,omitempty"`
 }
 
+// ECOSummary is the incremental-run footprint of an ECO job: how much of
+// the design went dirty and whether the ladder fell back to a full run.
+type ECOSummary struct {
+	DirtyCells         int   `json:"dirty_cells"`
+	TotalCells         int   `json:"total_cells"`
+	Rounds             int   `json:"rounds"`
+	HaloWidened        bool  `json:"halo_widened,omitempty"`
+	FullRun            bool  `json:"full_run,omitempty"`
+	CandidateEstimates int64 `json:"candidate_estimates"`
+}
+
 // result is the persisted outcome of a completed job (result.json in the
 // job directory), written atomically by the worker attempt that finished
 // the run.
 type result struct {
-	Metrics      Metrics  `json:"metrics"`
-	Iterations   int      `json:"iterations"`
-	TotalMoved   int      `json:"total_moved"`
-	Degradations []string `json:"degradations,omitempty"`
+	Metrics      Metrics     `json:"metrics"`
+	Iterations   int         `json:"iterations"`
+	TotalMoved   int         `json:"total_moved"`
+	Degradations []string    `json:"degradations,omitempty"`
+	ECO          *ECOSummary `json:"eco,omitempty"`
 }
 
 // Job is one unit of admitted work. Mutable fields are guarded by mu;

@@ -15,7 +15,9 @@ import (
 
 	"github.com/crp-eda/crp/internal/atomicio"
 	"github.com/crp-eda/crp/internal/checkpoint"
+	"github.com/crp-eda/crp/internal/eco"
 	"github.com/crp-eda/crp/internal/flow"
+	"github.com/crp-eda/crp/internal/lefdef"
 )
 
 // Worker attempt exit protocol. In child-process mode these are real
@@ -96,6 +98,9 @@ func runFlowAttempt(ctx context.Context, env attemptEnv) int {
 	spec, err := loadSpec(env.dir)
 	if err != nil {
 		return failAttempt(env, fmt.Errorf("loading spec: %w", err))
+	}
+	if spec.isECO() {
+		return runECOAttempt(ctx, env, spec)
 	}
 	d, err := spec.Design()
 	if err != nil {
@@ -193,6 +198,109 @@ func runFlowAttempt(ctx context.Context, env attemptEnv) int {
 			// miss. The fence still guards the publishing rename.
 			populateCache(env.cacheDir, hash, env.dir, env.fence)
 		}
+	}
+	return 0
+}
+
+// runECOAttempt executes one attempt of an incremental ECO job: rebuild
+// the parent job's design, re-place it from the parent's committed
+// out.def, and run flow.RunECO with the spec's delta. ECO attempts keep no
+// checkpoints — the incremental run is deterministic and short, so a
+// preempted or crashed attempt simply reruns from the parent's output and
+// commits byte-identical artifacts.
+func runECOAttempt(ctx context.Context, env attemptEnv, spec *Spec) int {
+	parentDir := filepath.Join(filepath.Dir(env.dir), spec.ParentJob)
+	parentSpec, err := loadSpec(parentDir)
+	if err != nil {
+		return failAttempt(env, fmt.Errorf("loading parent spec: %w", err))
+	}
+	pd, err := parentSpec.Design()
+	if err != nil {
+		return failAttempt(env, fmt.Errorf("building parent design: %w", err))
+	}
+	defData, err := os.ReadFile(filepath.Join(parentDir, "out.def"))
+	if err != nil {
+		return failAttempt(env, fmt.Errorf("reading parent output: %w", err))
+	}
+	// The committed DEF is the parent's placed design; reparsing it against
+	// the parent's tech/macros yields the ECO base with final positions.
+	base, err := lefdef.ParseDEF(bytes.NewReader(defData), pd.Tech, pd.Macros)
+	if err != nil {
+		return failAttempt(env, fmt.Errorf("parsing parent output: %w", err))
+	}
+	delta, err := eco.Parse(spec.ECODelta)
+	if err != nil {
+		return failAttempt(env, fmt.Errorf("parsing delta: %w", err))
+	}
+
+	fctx, fcancel := context.WithCancel(context.Background())
+	defer fcancel()
+	if env.onFlow != nil {
+		env.onFlow(fcancel)
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			t := time.NewTimer(env.grace)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				fcancel()
+			case <-fctx.Done():
+			}
+		case <-fctx.Done():
+		}
+	}()
+
+	cfg := spec.FlowConfig()
+	if env.instrument != nil {
+		env.instrument(&cfg, &flow.Checkpointing{})
+	}
+	env.publish(Event{Kind: "eco-start", Attempt: env.attempt, Detail: spec.ParentJob})
+
+	var def, guide bytes.Buffer
+	res, err := flow.RunECO(fctx, base, nil, delta, cfg, flow.ECOOptions{}, &def, &guide)
+	if ctx.Err() != nil {
+		// Preempted: nothing to hand off — the deterministic rerun restarts
+		// from the parent's committed output.
+		env.publish(Event{Kind: "preempted", Attempt: env.attempt})
+		return ExitPreempted
+	}
+	if err != nil {
+		return failAttempt(env, err)
+	}
+
+	out := result{
+		Metrics: Metrics{
+			WirelengthDBU: res.Metrics.WirelengthDBU,
+			Vias:          res.Metrics.Vias,
+			Score:         res.Metrics.Score,
+			Truncated:     res.Metrics.Truncated,
+		},
+		TotalMoved: res.CRPStats.TotalMoved,
+		Iterations: len(res.CRPStats.Iterations),
+	}
+	if e := res.ECO; e != nil {
+		out.ECO = &ECOSummary{
+			DirtyCells:         e.DirtyCells,
+			TotalCells:         e.TotalCells,
+			Rounds:             e.Rounds,
+			HaloWidened:        e.HaloWidened,
+			FullRun:            e.FullRun,
+			CandidateEstimates: e.CandidateEstimates,
+		}
+	}
+	for _, dg := range res.Degradations {
+		out.Degradations = append(out.Degradations, dg.String())
+	}
+	if err := commitResult(env.dir, out, def.Bytes(), guide.Bytes(), env.fence); err != nil {
+		if errors.Is(err, ErrFenced) {
+			return ExitFenced
+		}
+		return failAttempt(env, fmt.Errorf("committing outputs: %w", err))
+	}
+	if hash, err := jobHash(*spec, filepath.Dir(env.dir)); err == nil {
+		populateCache(env.cacheDir, hash, env.dir, env.fence)
 	}
 	return 0
 }

@@ -100,6 +100,12 @@ type Config struct {
 	// Population still happens on success, so enabling later benefits
 	// from earlier runs.
 	DisableCache bool
+	// CacheMaxEntries and CacheMaxBytes bound the exact result cache; the
+	// least-recently-served entries are evicted when either bound is
+	// exceeded (at startup and after each completed job), and every
+	// eviction is counted in Stats.CacheEvictions. 0 means unbounded.
+	CacheMaxEntries int
+	CacheMaxBytes   int64
 }
 
 // ShedPolicy tunes degraded admission: once the queue depth reaches
@@ -219,6 +225,7 @@ func New(cfg Config) (*Service, error) {
 	if _, err := st.recover(); err != nil {
 		return nil, fmt.Errorf("service: recovering %s: %w", cfg.DataDir, err)
 	}
+	st.enforceCacheBounds()
 	s := &Service{cfg: cfg, store: st, pool: newPool(cfg, st)}
 	s.pool.start()
 	s.schedWG.Add(1)

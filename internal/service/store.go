@@ -108,11 +108,21 @@ type store struct {
 	stopCh   chan struct{}
 	stopOnce sync.Once
 
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
-	fencedWrites atomic.Int64
-	steals       atomic.Int64
-	shedDegraded atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
+	fencedWrites   atomic.Int64
+	steals         atomic.Int64
+	shedDegraded   atomic.Int64
+}
+
+// enforceCacheBounds applies the configured LRU entry/byte bounds to the
+// exact result cache, counting every removed entry. No-op when both
+// bounds are zero.
+func (st *store) enforceCacheBounds() {
+	if n := evictCache(st.cacheRoot, st.cfg.CacheMaxEntries, st.cfg.CacheMaxBytes); n > 0 {
+		st.cacheEvictions.Add(int64(n))
+	}
 }
 
 func newStore(cfg Config) *store {
@@ -166,6 +176,11 @@ func (st *store) submit(spec Spec) (*Job, error) {
 			return nil, errInvalidSpec(err.Error())
 		}
 		return nil, errBadSpec(err.Error())
+	}
+	if spec.isECO() {
+		if err := st.resolveParent(spec); err != nil {
+			return nil, err
+		}
 	}
 	if j, served, err := st.tryServeCached(spec); served {
 		return j, err
@@ -243,6 +258,31 @@ func (st *store) allocLocked(spec Spec) (*Job, error) {
 	}
 }
 
+// resolveParent gates an ECO submission on its parent: the referenced job
+// must exist (here, or on disk under a peer node) and be done — an ECO
+// against a job still running would race its committed output. Unknown
+// parents are structural bad_spec rejections; a live-but-unfinished parent
+// is a conflict the client can retry once the parent completes.
+func (st *store) resolveParent(sp Spec) error {
+	id := sp.ParentJob
+	if j, err := st.get(id); err == nil {
+		if s := j.currentState(); s != StateDone {
+			return errConflict(fmt.Sprintf("parent job %s is %s, not done", id, s))
+		}
+		return nil
+	}
+	// Disk fallback: a peer node's job this node has not scanned yet.
+	data, err := os.ReadFile(filepath.Join(st.cfg.DataDir, id, "state.json"))
+	if err != nil {
+		return errBadSpec("unknown parent job: " + id)
+	}
+	var rec jobRecord
+	if json.Unmarshal(data, &rec) != nil || rec.State != StateDone {
+		return errConflict(fmt.Sprintf("parent job %s is not done", id))
+	}
+	return nil
+}
+
 // tryServeCached is rung one of the shed ladder: when the exact result
 // cache holds the spec's canonical hash, a new job directory is created
 // with the cached artifacts copied in and the job completes on the spot —
@@ -252,7 +292,7 @@ func (st *store) tryServeCached(spec Spec) (j *Job, served bool, err error) {
 	if st.cfg.DisableCache {
 		return nil, false, nil
 	}
-	hash, err := specHash(spec)
+	hash, err := jobHash(spec, st.cfg.DataDir)
 	if err != nil {
 		return nil, false, nil
 	}
@@ -261,6 +301,7 @@ func (st *store) tryServeCached(spec Spec) (j *Job, served bool, err error) {
 		st.cacheMisses.Add(1)
 		return nil, false, nil
 	}
+	touchCacheEntry(entry)
 	st.mu.Lock()
 	if st.draining || st.halted {
 		st.mu.Unlock()
@@ -442,6 +483,11 @@ func (st *store) release(j *Job, next State, errMsg string) {
 	}
 	if token != 0 {
 		st.lm.release(j.Dir, token)
+	}
+	if next == StateDone {
+		// The finished attempt may have populated the cache; re-apply the
+		// LRU bounds so the cache never outgrows its budget for long.
+		st.enforceCacheBounds()
 	}
 	st.cond.Broadcast()
 	j.hub.notify()
@@ -625,20 +671,21 @@ func (st *store) stats() Stats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	s := Stats{
-		NodeID:       st.cfg.NodeID,
-		QueueDepth:   len(st.queue),
-		QueueCap:     st.cfg.QueueCap,
-		Running:      len(st.running),
-		Workers:      st.cfg.Workers,
-		Draining:     st.draining,
-		Halted:       st.halted,
-		CacheHits:    st.cacheHits.Load(),
-		CacheMisses:  st.cacheMisses.Load(),
-		FencedWrites: st.fencedWrites.Load(),
-		Steals:       st.steals.Load(),
-		ShedDegraded: st.shedDegraded.Load(),
-		Tenants:      map[string]TenantStats{},
-		States:       map[State]int{},
+		NodeID:         st.cfg.NodeID,
+		QueueDepth:     len(st.queue),
+		QueueCap:       st.cfg.QueueCap,
+		Running:        len(st.running),
+		Workers:        st.cfg.Workers,
+		Draining:       st.draining,
+		Halted:         st.halted,
+		CacheHits:      st.cacheHits.Load(),
+		CacheMisses:    st.cacheMisses.Load(),
+		CacheEvictions: st.cacheEvictions.Load(),
+		FencedWrites:   st.fencedWrites.Load(),
+		Steals:         st.steals.Load(),
+		ShedDegraded:   st.shedDegraded.Load(),
+		Tenants:        map[string]TenantStats{},
+		States:         map[State]int{},
 	}
 	for _, j := range st.jobs {
 		state := j.currentState()
@@ -801,16 +848,18 @@ type Stats struct {
 	Halted     bool   `json:"halted,omitempty"`
 	Goroutines int    `json:"goroutines"`
 	// CacheHits/CacheMisses count exact-result-cache outcomes at
-	// admission; FencedWrites counts zombie writes refused by the lease
-	// fence; Steals counts expired leases this node adopted; ShedDegraded
-	// counts submissions admitted with a load-shed-clamped spec.
-	CacheHits    int64                  `json:"cache_hits"`
-	CacheMisses  int64                  `json:"cache_misses"`
-	FencedWrites int64                  `json:"fenced_writes,omitempty"`
-	Steals       int64                  `json:"steals,omitempty"`
-	ShedDegraded int64                  `json:"shed_degraded,omitempty"`
-	Tenants      map[string]TenantStats `json:"tenants,omitempty"`
-	States       map[State]int          `json:"states,omitempty"`
+	// admission; CacheEvictions counts entries removed by the LRU bounds;
+	// FencedWrites counts zombie writes refused by the lease fence; Steals
+	// counts expired leases this node adopted; ShedDegraded counts
+	// submissions admitted with a load-shed-clamped spec.
+	CacheHits      int64                  `json:"cache_hits"`
+	CacheMisses    int64                  `json:"cache_misses"`
+	CacheEvictions int64                  `json:"cache_evictions,omitempty"`
+	FencedWrites   int64                  `json:"fenced_writes,omitempty"`
+	Steals         int64                  `json:"steals,omitempty"`
+	ShedDegraded   int64                  `json:"shed_degraded,omitempty"`
+	Tenants        map[string]TenantStats `json:"tenants,omitempty"`
+	States         map[State]int          `json:"states,omitempty"`
 }
 
 // TenantStats is one tenant's share of the service.

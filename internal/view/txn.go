@@ -37,9 +37,10 @@ type Txn struct {
 	sinceEpoch uint64
 	journal    *grid.Journal
 
-	swaps   []routeSwap
-	swapped map[int32]bool
-	done    bool
+	swaps    []routeSwap
+	swapped  map[int32]bool
+	netSwaps []netSwap
+	done     bool
 
 	// segs marks region boundaries in the journal's op log (sharded merge);
 	// empty unless BeginSegment was called.
@@ -64,6 +65,29 @@ type Segment struct {
 type routeSwap struct {
 	nid int32
 	old *global.Route
+}
+
+// netSwap records one net's pre-transaction cell-pin terminal list, captured
+// by ApplyDelta when it rewires the net.
+type netSwap struct {
+	nid int32
+	old []db.PinRef
+}
+
+// NetChange is one net rewiring in a DeltaOps batch: the net's complete new
+// cell-pin terminal list (IO terminals are untouched).
+type NetChange struct {
+	Net  int32
+	Pins []db.PinRef
+}
+
+// DeltaOps is a resolved ECO delta expressed in design IDs: a batch of cell
+// moves plus net rewirings, applied transactionally by Txn.ApplyDelta.
+// Structural edits (added/removed cells) cannot be expressed here — they
+// change the ID space and force a design rebuild (see internal/eco).
+type DeltaOps struct {
+	Moves map[int32]geom.Point
+	Nets  []NetChange
 }
 
 // Begin opens a write transaction over the view's committed state.
@@ -98,6 +122,77 @@ func (t *Txn) RerouteNet(nid int32) {
 		t.swaps = append(t.swaps, routeSwap{nid: nid, old: t.v.r.Routes[nid]})
 	}
 	t.v.r.RerouteNet(nid)
+}
+
+// ApplyDelta applies a resolved ECO delta through the transaction: the cell
+// moves as one atomic batch, then each net rewiring (pre-image captured for
+// Discard), then a rip-up/reroute of every affected net — the union of the
+// moved cells' nets and the rewired nets, in ascending net-ID order so the
+// demand mutation sequence is deterministic. The whole batch is validated
+// before anything mutates; on error the committed state is unchanged and the
+// transaction remains open (the caller decides whether to Discard).
+func (t *Txn) ApplyDelta(ops DeltaOps) error {
+	d := t.v.d
+	nets := append([]NetChange(nil), ops.Nets...)
+	sort.Slice(nets, func(a, b int) bool { return nets[a].Net < nets[b].Net })
+	for i, nc := range nets {
+		if nc.Net < 0 || int(nc.Net) >= len(d.Nets) {
+			return fmt.Errorf("view: delta rewires unknown net %d (have %d nets)", nc.Net, len(d.Nets))
+		}
+		if i > 0 && nets[i-1].Net == nc.Net {
+			return fmt.Errorf("view: delta rewires net %d twice", nc.Net)
+		}
+		for _, pr := range nc.Pins {
+			if pr.Cell < 0 || int(pr.Cell) >= len(d.Cells) {
+				return fmt.Errorf("view: delta rewires net %d to unknown cell %d", nc.Net, pr.Cell)
+			}
+			if c := d.Cells[pr.Cell]; pr.Pin < 0 || int(pr.Pin) >= len(c.Macro.Pins) {
+				return fmt.Errorf("view: delta rewires net %d to pin %d of cell %q (macro %q has %d pins)",
+					nc.Net, pr.Pin, c.Name, c.Macro.Name, len(c.Macro.Pins))
+			}
+		}
+		if len(nc.Pins)+len(d.Nets[nc.Net].IOs) < 2 {
+			return fmt.Errorf("view: delta leaves net %d with %d terminals", nc.Net, len(nc.Pins)+len(d.Nets[nc.Net].IOs))
+		}
+	}
+	for cid := range ops.Moves {
+		if cid < 0 || int(cid) >= len(d.Cells) {
+			return fmt.Errorf("view: delta moves unknown cell %d (have %d cells)", cid, len(d.Cells))
+		}
+	}
+	// Affected nets are collected against pre-move connectivity; a rewiring
+	// can only add nets that are themselves in the rewired set, so the union
+	// below covers post-change connectivity too.
+	affected := map[int32]bool{}
+	for cid := range ops.Moves {
+		for _, nid := range d.Cells[cid].Nets {
+			affected[nid] = true
+		}
+	}
+	if len(ops.Moves) > 0 {
+		if err := t.MoveCells(ops.Moves); err != nil {
+			return err
+		}
+	}
+	for _, nc := range nets {
+		old, err := d.ReconnectNet(nc.Net, nc.Pins)
+		if err != nil {
+			// Unreachable after the validation above; surface it rather than
+			// guessing at partial-undo semantics.
+			return fmt.Errorf("view: delta rewire failed after validation: %w", err)
+		}
+		t.netSwaps = append(t.netSwaps, netSwap{nid: nc.Net, old: old})
+		affected[nc.Net] = true
+	}
+	nids := make([]int32, 0, len(affected))
+	for nid := range affected {
+		nids = append(nids, nid)
+	}
+	sort.Slice(nids, func(a, b int) bool { return nids[a] < nids[b] })
+	for _, nid := range nids {
+		t.RerouteNet(nid)
+	}
+	return nil
 }
 
 // RerouteNetTracked is RerouteNet reporting whether the reroute fell back
@@ -274,6 +369,15 @@ func (t *Txn) Discard() {
 	for _, nid := range nids {
 		r.RipUp(nid)
 		r.Commit(old[nid]) // Commit(nil) is a no-op: net was unrouted before
+	}
+	// Undo ApplyDelta rewirings (netlist truth) before placement truth; pin
+	// lists are independent of demand accounting, so ordering against the
+	// route restore above is immaterial.
+	for i := len(t.netSwaps) - 1; i >= 0; i-- {
+		ns := t.netSwaps[i]
+		if _, err := t.v.d.ReconnectNet(ns.nid, ns.old); err != nil {
+			return // pre-image was valid; only out-of-band corruption gets here
+		}
 	}
 	if err := t.v.d.Restore(t.pre); err != nil {
 		// Only possible if the cell count changed mid-transaction, which
